@@ -1,0 +1,47 @@
+"""Ablation — pblock tightness versus relocatability and Fmax.
+
+Paper Sec. IV-A2: "the smaller the area of a pblock is, the more
+RapidWright will be capable of relocating the design components across
+the chip, which increases the reusability."  We pre-implement the same
+conv engine with increasing floorplan slack and count compatible anchors
+and the achieved OOC Fmax.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.rapidwright import candidate_anchors, preimplement
+from repro.synth import gen_conv
+
+from conftest import SEED, show
+
+SLACKS = (1.05, 1.3, 1.8, 2.6)
+
+
+def _explore(device):
+    results = []
+    for slack in SLACKS:
+        design = gen_conv(6, 14, 14, 5, 16, rom_weights=True)
+        result = preimplement(design, device, effort="high", seed=SEED, slack=slack)
+        anchors = candidate_anchors(device, design)
+        results.append((slack, design.pblock, result.fmax_mhz, len(anchors)))
+    return results
+
+
+def test_ablation_pblock_tightness(benchmark, device):
+    results = benchmark.pedantic(_explore, args=(device,), rounds=1, iterations=1)
+    rows = [
+        [f"{slack:.2f}", f"{pb.width}x{pb.height}", pb.area, f"{fmax:.1f} MHz", anchors]
+        for slack, pb, fmax, anchors in results
+    ]
+    show(format_table(
+        ["slack", "pblock", "area", "OOC Fmax", "anchors"],
+        rows, title="Ablation — pblock tightness vs relocatability (conv2 engine)",
+    ))
+    areas = [pb.area for _s, pb, _f, _a in results]
+    anchors = [a for *_rest, a in results]
+    assert areas == sorted(areas)  # slack monotonically grows the pblock
+    # tighter pblocks never relocate to fewer places than looser ones
+    assert anchors[0] >= anchors[-1]
+    # every variant still reaches a healthy clock
+    assert min(f for _s, _p, f, _a in results) > 250

@@ -1,0 +1,59 @@
+"""Fig. 1 — motivation example.
+
+Four applications (MM, OP, RC, SM) on a 3x3 PE block, implemented by the
+monolithic Vivado-style flow versus OOC pre-implementation (the
+RapidWright-style path).  The paper (quoting Mandebi et al.) reports the
+pre-implemented flow compiling 5-37 % faster with 8-33 % higher Fmax.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import format_table, pct_str, ratio_str
+from repro.rapidwright import preimplement
+from repro.synth import KERNELS, gen_pe_array
+from repro.vivado import VivadoFlow
+
+from conftest import SEED, show
+
+#: Paper-reported gains (compile-time reduction, Fmax gain) per kernel.
+PAPER = {"MM": (0.05, 0.19), "OP": (0.18, 0.33), "RC": (0.37, 0.09), "SM": (0.07, 0.08)}
+
+
+def _run_kernel(device, kernel: str):
+    vivado = VivadoFlow(device, effort="medium", seed=SEED)
+    t0 = time.perf_counter()
+    base = vivado.implement(gen_pe_array(kernel, 3, 3))
+    base_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    ooc = preimplement(gen_pe_array(kernel, 3, 3), device, effort="high", seed=SEED)
+    ooc_s = time.perf_counter() - t0
+    return base, base_s, ooc, ooc_s
+
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+def test_fig1_kernel(benchmark, device, kernel):
+    base, base_s, ooc, ooc_s = benchmark.pedantic(
+        _run_kernel, args=(device, kernel), rounds=1, iterations=1
+    )
+    paper_time, paper_fmax = PAPER[kernel]
+    rows = [[
+        kernel,
+        f"{base_s:.3f}s",
+        f"{ooc_s:.3f}s",
+        pct_str(1 - ooc_s / base_s),
+        pct_str(paper_time),
+        f"{base.fmax_mhz:.0f}",
+        f"{ooc.fmax_mhz:.0f}",
+        ratio_str(ooc.fmax_mhz, base.fmax_mhz),
+        pct_str(paper_fmax),
+    ]]
+    show(format_table(
+        ["kernel", "vivado t", "rw t", "t gain", "paper t gain",
+         "vivado MHz", "rw MHz", "fmax", "paper fmax gain"],
+        rows,
+        title=f"Fig. 1 motivation — {KERNELS[kernel].description}",
+    ))
+    # shape: pre-implementation must not be slower to build nor clock lower
+    assert ooc.fmax_mhz >= base.fmax_mhz * 0.95

@@ -1,0 +1,43 @@
+"""Fig. 6 — design generation time (productivity).
+
+Compile time of the monolithic flow versus the pre-implemented flow
+(DCP generation with RapidWright + final inter-component routing).
+Paper: 53.3 min -> 16.5 min for LeNet (69 % gain), 135 -> 52.9 min for
+VGG (61 %), with RapidWright stitching only 5 % / 9 % of the
+pre-implemented flow's time.
+"""
+
+import pytest
+
+from repro.analysis import compare_productivity, format_table, pct_str
+
+from conftest import show
+
+#: Paper Fig. 6 values in minutes and reported gains/fractions.
+PAPER = {
+    "lenet5": {"baseline_min": 53.3, "preimpl_min": 16.54, "gain": 0.69, "stitch": 0.05},
+    "vgg16": {"baseline_min": 135.0, "preimpl_min": 52.87, "gain": 0.61, "stitch": 0.09},
+}
+
+
+@pytest.mark.parametrize("network", ["lenet5", "vgg16"])
+def test_fig6(benchmark, network, lenet_pair, vgg_pair):
+    pair = lenet_pair if network == "lenet5" else vgg_pair
+    report = benchmark.pedantic(
+        lambda: compare_productivity(pair.baseline, pair.ours), rounds=1, iterations=1
+    )
+    paper = PAPER[network]
+    show(format_table(
+        ["flow", "measured", "paper"],
+        [
+            ["baseline compile", f"{report.baseline_s:.2f} s", f"{paper['baseline_min']} min"],
+            ["pre-implemented", f"{report.preimpl_s:.2f} s", f"{paper['preimpl_min']} min"],
+            ["productivity gain", pct_str(report.gain), pct_str(paper["gain"])],
+            ["stitch fraction", pct_str(report.stitch_fraction), pct_str(paper["stitch"])],
+            ["offline DB build (once)", f"{pair.offline_s:.2f} s", "offline, excluded"],
+        ],
+        title=f"Fig. 6 — design generation time, {network}",
+    ))
+    # shape: substantial productivity gain in favour of the pre-built flow
+    assert report.gain > 0.3
+    assert report.preimpl_s < report.baseline_s

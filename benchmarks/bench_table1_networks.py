@@ -1,0 +1,58 @@
+"""Table I — computational workload of the benchmark DNNs.
+
+Analytic weights/MACs for the paper's two networks.  The paper's LeNet
+column matches the Caffe 20/50-filter variant (see DESIGN.md); VGG-16 is
+standard.  Measured values must reproduce the table to within rounding.
+"""
+
+from repro.analysis import format_table
+from repro.cnn import lenet5_caffe, vgg16
+
+from conftest import show
+
+#: Paper Table I values (LeNet-5 column, VGG-16 column).
+PAPER = {
+    "lenet": {
+        "conv_layers": 2, "conv_weights": 26e3, "conv_macs": 1.9e6,
+        "fc_layers": 2, "fc_weights": 406e3, "fc_macs": 405e3,
+        "total_weights": 431e3, "total_macs": 2.3e6,
+    },
+    "vgg": {
+        "conv_weights": 14.7e6, "conv_macs": 15.3e9,
+        "fc_layers": 3, "fc_weights": 124e6, "fc_macs": 124e6,
+        "total_weights": 138e6, "total_macs": 15.5e9,
+    },
+}
+
+
+def _fmt(value: float) -> str:
+    if value >= 1e9:
+        return f"{value / 1e9:.3g} G"
+    if value >= 1e6:
+        return f"{value / 1e6:.3g} M"
+    if value >= 1e3:
+        return f"{value / 1e3:.3g} K"
+    return f"{value:.0f}"
+
+
+def test_table1(benchmark):
+    lenet, vgg = benchmark.pedantic(
+        lambda: (lenet5_caffe().totals(), vgg16().totals()), rounds=3, iterations=1
+    )
+    rows = []
+    for key in ("conv_weights", "conv_macs", "fc_weights", "fc_macs",
+                "total_weights", "total_macs"):
+        rows.append([
+            key,
+            _fmt(lenet[key]), _fmt(PAPER["lenet"][key]),
+            _fmt(vgg[key]), _fmt(PAPER["vgg"][key]),
+        ])
+    show(format_table(
+        ["metric", "LeNet meas", "LeNet paper", "VGG meas", "VGG paper"],
+        rows, title="Table I — computational hardware resources",
+    ))
+    import pytest
+
+    for net, measured in (("lenet", lenet), ("vgg", vgg)):
+        for key, expect in PAPER[net].items():
+            assert measured[key] == pytest.approx(expect, rel=0.05), (net, key)

@@ -1,0 +1,60 @@
+"""Table II — FPGA resource utilization, baseline vs pre-implemented.
+
+The paper reports the pre-implemented networks using slightly fewer
+LUTs/FFs/BRAMs than the monolithic builds (the vendor tool inserts extra
+control/buffering when compiling the larger flat design), with DSP equal
+(LeNet) or marginally higher (VGG).
+"""
+
+import pytest
+
+from repro.analysis import format_table, pct_str
+
+from conftest import show
+
+#: Paper Table II utilization percentages: (baseline, pre-implemented).
+PAPER = {
+    "lenet5": {"LUT": (9.65, 8.89), "FF": (1.29, 1.26), "RAMB36": (21.44, 21.16),
+               "DSP48E2": (5.21, 5.21)},
+    "vgg16": {"LUT": (85.28, 78.79), "FF": (32.53, 27.25), "RAMB36": (38.54, 36.39),
+              "DSP48E2": (76.66, 76.92)},
+}
+
+KEYS = ("LUT", "FF", "RAMB36", "DSP48E2")
+
+
+def _rows(pair, device, paper):
+    base = pair.baseline.design.resource_usage()
+    ours = pair.ours.design.resource_usage()
+    ub = device.utilization({k: base.get(k, 0) for k in KEYS})
+    uo = device.utilization({k: ours.get(k, 0) for k in KEYS})
+    rows = []
+    for key in KEYS:
+        rows.append([
+            key,
+            f"{base.get(key, 0)} ({pct_str(ub[key])})",
+            f"{ours.get(key, 0)} ({pct_str(uo[key])})",
+            f"{paper[key][0]:.2f}%",
+            f"{paper[key][1]:.2f}%",
+        ])
+    return rows, base, ours
+
+
+@pytest.mark.parametrize("network", ["lenet5", "vgg16"])
+def test_table2(benchmark, device, network, lenet_caffe_pair, vgg_pair):
+    # Table II's LeNet column matches the Caffe variant (ROM-resident
+    # 431 K weights explain the paper's 21 % BRAM); see DESIGN.md.
+    pair = lenet_caffe_pair if network == "lenet5" else vgg_pair
+    rows, base, ours = benchmark.pedantic(
+        lambda: _rows(pair, device, PAPER[network]), rounds=1, iterations=1
+    )
+    show(format_table(
+        ["resource", "baseline (meas)", "pre-impl (meas)",
+         "baseline (paper)", "pre-impl (paper)"],
+        rows, title=f"Table II — resource utilization, {network}",
+    ))
+    # shape: pre-implemented uses no more LUT/FF/BRAM than the baseline
+    for key in ("LUT", "FF", "RAMB36"):
+        assert ours.get(key, 0) <= base.get(key, 0), key
+    # DSP within a small margin (paper: +0.26 % for VGG)
+    assert ours.get("DSP48E2", 0) <= base.get("DSP48E2", 0) * 1.05

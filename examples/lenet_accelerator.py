@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""LeNet-5 accelerator: the paper's Table III experiment end to end.
+
+Builds the classic LeNet-5 stream accelerator with both flows on the
+calibrated big device, reports per-component Fmax, the stitched result,
+the latency model, power, and verifies the decomposition functionally
+against the NumPy golden model with fixed-16 quantization.
+
+Run:  python examples/lenet_accelerator.py
+"""
+
+import numpy as np
+
+from repro import Device, lenet5, random_weights, run_inference
+from repro.analysis import compare_productivity, format_table, network_latency
+from repro.cnn import group_components, quantized_inference
+from repro.power import estimate_power
+from repro.rapidwright import PreImplementedFlow
+from repro.vivado import VivadoFlow
+
+
+def main() -> None:
+    device = Device.from_name("ku5p-like")
+    net = lenet5()
+    print(device.describe())
+    print(f"network: {net.name}, {len(net.nodes)} layers, "
+          f"{net.totals()['total_macs'] / 1e6:.2f} M MACs")
+
+    # --- both flows -----------------------------------------------------
+    baseline = VivadoFlow(device, effort="medium", seed=0).run(net, rom_weights=True)
+    flow = PreImplementedFlow(device, component_effort="high", seed=0)
+    database, offline = flow.build_database(net, rom_weights=True)
+    ours = flow.run(net, rom_weights=True, database=database)
+
+    comps = group_components(net, "layer")
+    stitch = ours.extras["stitch"]
+    par_of = {
+        c.name: database.get(c.signature).metadata.get("parallelism", {"pf": 1, "pk": 1})
+        for c in comps
+    }
+    latency = network_latency(comps, ours.fmax_mhz,
+                              parallelism_of=lambda c: par_of[c.name])
+
+    rows = []
+    for record, comp, lat in zip(stitch.records, comps, latency.components):
+        rows.append(["+".join(comp.nodes), f"{record.fmax_ooc_mhz:.0f} MHz",
+                     f"{lat.latency_us:.2f} us"])
+    rows.append(["full network (monolithic)", f"{baseline.fmax_mhz:.0f} MHz", "-"])
+    rows.append(["our work (stitched)", f"{ours.fmax_mhz:.0f} MHz",
+                 f"{latency.total_us:.2f} us"])
+    print("\n" + format_table(["component", "Fmax", "latency"], rows,
+                              title="LeNet-5 performance exploration (cf. Table III)"))
+
+    print(f"\nproductivity: {compare_productivity(baseline, ours).summary()}")
+    power_base = estimate_power(baseline.design, device, baseline.fmax_mhz)
+    power_ours = estimate_power(ours.design, device, ours.fmax_mhz)
+    print(f"power: baseline {power_base.summary()}")
+    print(f"power: stitched {power_ours.summary()}")
+
+    # --- functional check (fixed-16, cf. Table IV precision row) -------
+    weights = random_weights(net, seed=0, scale=0.05)
+    rng = np.random.default_rng(1)
+    image = rng.uniform(0, 1, size=(1, 32, 32))
+    exact = run_inference(net, image, weights)
+    fixed = quantized_inference(net, image, weights)
+    print(f"\nfunctional check: argmax float={exact.argmax()} "
+          f"fixed16={fixed.argmax()}  max |err|={np.abs(exact - fixed).max():.4f}")
+
+
+if __name__ == "__main__":
+    main()

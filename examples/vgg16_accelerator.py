@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""VGG-16 accelerator: the paper's Fig. 7/8 experiment end to end.
+
+Builds VGG-16 at the paper's 12-component "block" granularity with
+streamed off-chip weights, places the component library across the die
+(Fig. 8), closes timing with phys-opt pipeline registers across fabric
+discontinuities (Sec. V-E), and plans the off-chip feature-map layout
+with the best-fit-with-coalescing allocator (Sec. V-B2).
+
+This is the heavyweight example (~1-2 minutes).
+
+Run:  python examples/vgg16_accelerator.py
+"""
+
+from repro import Device, vgg16
+from repro.analysis import compare_productivity, format_table, network_latency
+from repro.cnn import group_components
+from repro.memory import plan_feature_maps
+from repro.rapidwright import PreImplementedFlow
+from repro.vivado import VivadoFlow
+
+
+def main() -> None:
+    device = Device.from_name("ku5p-like")
+    net = vgg16()
+    print(device.describe())
+    print(f"network: {net.name}, {net.totals()['total_macs'] / 1e9:.1f} G MACs")
+
+    # --- off-chip memory plan (Sec. V-B2) -------------------------------
+    plan = plan_feature_maps(net, capacity=512 * 1024 * 1024)
+    print(f"\noff-chip feature maps: peak {plan['peak_bytes'] / 1e6:.1f} MB, "
+          f"traffic {plan['traffic_bytes'] / 1e6:.1f} MB, "
+          f"fragmentation {plan['final_fragmentation']:.2f}")
+
+    # --- both flows ------------------------------------------------------
+    print("\nrunning monolithic flow (this is the slow one)...")
+    baseline = VivadoFlow(device, effort="medium", seed=0).run(
+        net, granularity="block", rom_weights=False
+    )
+    print(f"baseline: {baseline.fmax_mhz:.1f} MHz in {baseline.runtime_s:.1f} s")
+
+    flow = PreImplementedFlow(device, component_effort="high", seed=0)
+    database, offline = flow.build_database(net, granularity="block", rom_weights=False)
+    print(f"component library built offline in {offline.total:.1f} s "
+          f"({len(database)} checkpoints)")
+    ours = flow.run(net, granularity="block", rom_weights=False, database=database,
+                    pipeline_target_mhz="auto")
+    regs = ours.design.metadata.get("pipeline_regs", 0)
+    print(f"pre-implemented: {ours.fmax_mhz:.1f} MHz in {ours.runtime_s:.2f} s "
+          f"(+{regs} pipeline FFs)")
+
+    # --- Fig. 7-style table ----------------------------------------------
+    comps = group_components(net, "block")
+    stitch = ours.extras["stitch"]
+    par_of = {
+        c.name: database.get(c.signature).metadata.get("parallelism", {"pf": 1, "pk": 1})
+        for c in comps
+    }
+    latency = network_latency(comps, ours.fmax_mhz,
+                              parallelism_of=lambda c: par_of[c.name],
+                              pipeline_regs=regs)
+    rows = [[r.name, f"{r.fmax_ooc_mhz:.0f} MHz", str(r.anchor)] for r in stitch.records]
+    rows.append(["baseline (monolithic)", f"{baseline.fmax_mhz:.0f} MHz", "-"])
+    rows.append(["our work (stitched+piped)", f"{ours.fmax_mhz:.0f} MHz",
+                 f"{latency.total_ms:.1f} ms latency"])
+    print("\n" + format_table(["component", "Fmax", "anchor / note"], rows,
+                              title="VGG-16 performance exploration (cf. Fig. 7/8)"))
+    print(f"\nratio vs baseline: {ours.fmax_mhz / baseline.fmax_mhz:.2f}x "
+          f"(paper: 1.22x)")
+    print(f"productivity: {compare_productivity(baseline, ours).summary()}")
+
+
+if __name__ == "__main__":
+    main()

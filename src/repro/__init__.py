@@ -1,0 +1,88 @@
+"""repro — layer-based pre-implemented flow for mapping CNNs on FPGA.
+
+A full-stack Python reproduction of Tchuinkou Kwadjo et al., "Exploring a
+Layer-based Pre-implemented Flow for Mapping CNN on FPGA" (IPPS 2021):
+an UltraScale-like fabric model, netlist/checkpoint infrastructure, a
+vendor-tool-style place/route/STA/power backend, and the paper's
+RapidWright-style pre-implemented component flow on top.
+
+Quickstart::
+
+    from repro import Device, lenet5, PreImplementedFlow, VivadoFlow
+
+    device = Device.from_name("ku5p-like")
+    baseline = VivadoFlow(device).run(lenet5())
+    ours = PreImplementedFlow(device).run(lenet5())
+    print(baseline.fmax_mhz, "->", ours.fmax_mhz)
+"""
+
+from .fabric import Device, PBlock, RoutingGraph, TileType, auto_pblock, get_part
+from .netlist import Cell, Design, DesignError, Net, Port, load_checkpoint, save_checkpoint
+from .cnn import (
+    DFG,
+    group_components,
+    lenet5,
+    lenet5_caffe,
+    parse_architecture,
+    run_inference,
+    random_weights,
+    vgg16,
+)
+from .synth import gen_conv, gen_fc, gen_pe_array, gen_pool, gen_relu, synthesize_network
+from .place import place_design
+from .route import Router
+from .timing import analyze, fmax_mhz, pipeline_to_target
+from .power import estimate_power
+from .vivado import FlowResult, VivadoFlow
+from .rapidwright import ComponentDatabase, PreImplementedFlow, preimplement, relocate
+from .memory import BestFitAllocator, plan_feature_maps
+from .analysis import compare_productivity, network_latency
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Device",
+    "PBlock",
+    "RoutingGraph",
+    "TileType",
+    "auto_pblock",
+    "get_part",
+    "Cell",
+    "Design",
+    "DesignError",
+    "Net",
+    "Port",
+    "load_checkpoint",
+    "save_checkpoint",
+    "DFG",
+    "group_components",
+    "lenet5",
+    "lenet5_caffe",
+    "vgg16",
+    "parse_architecture",
+    "run_inference",
+    "random_weights",
+    "gen_conv",
+    "gen_fc",
+    "gen_pool",
+    "gen_relu",
+    "gen_pe_array",
+    "synthesize_network",
+    "place_design",
+    "Router",
+    "analyze",
+    "fmax_mhz",
+    "pipeline_to_target",
+    "estimate_power",
+    "FlowResult",
+    "VivadoFlow",
+    "ComponentDatabase",
+    "PreImplementedFlow",
+    "preimplement",
+    "relocate",
+    "BestFitAllocator",
+    "plan_feature_maps",
+    "compare_productivity",
+    "network_latency",
+    "__version__",
+]

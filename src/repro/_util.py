@@ -1,0 +1,102 @@
+"""Small shared utilities: seeded RNG handling, timers, and id generation.
+
+Every stochastic stage of the flows (placement annealing, router tie
+breaking, synthetic weights) draws randomness from a
+:class:`numpy.random.Generator` seeded explicitly, so a flow run is a pure
+function of ``(design, seed)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["make_rng", "StageTimer", "fresh_name", "manhattan"]
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` (seeded with 0 so library behaviour stays deterministic by
+    default — callers wanting true entropy must ask for it explicitly).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(0 if seed is None else seed)
+
+
+@dataclass
+class StageTimer:
+    """Accumulates wall-clock time per named flow stage.
+
+    The productivity experiments (Fig. 6 of the paper) compare compile time
+    between flows; each flow records its stage breakdown here so the
+    benchmark harness can report, e.g., what fraction of the
+    pre-implemented flow is spent stitching versus routing.
+    """
+
+    stages: dict[str, float] = field(default_factory=dict)
+    order: list[str] = field(default_factory=list)
+
+    @contextmanager
+    def stage(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            if name not in self.stages:
+                self.order.append(name)
+                self.stages[name] = 0.0
+            self.stages[name] += elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        if name not in self.stages:
+            self.order.append(name)
+            self.stages[name] = 0.0
+        self.stages[name] += seconds
+
+    @property
+    def total(self) -> float:
+        """Wall-clock total over top-level stages.
+
+        Stage names containing ``/`` are sub-stages nested inside a
+        top-level stage and are excluded to avoid double counting.
+        """
+        top = [v for k, v in self.stages.items() if "/" not in k]
+        return sum(top) if top else sum(self.stages.values())
+
+    def fraction(self, name: str) -> float:
+        total = self.total
+        return self.stages.get(name, 0.0) / total if total else 0.0
+
+    def merged(self, other: "StageTimer") -> "StageTimer":
+        out = StageTimer()
+        for src in (self, other):
+            for name in src.order:
+                out.add(name, src.stages[name])
+        return out
+
+    def report(self) -> str:
+        lines = [f"{name:<28s} {self.stages[name]:10.3f} s" for name in self.order]
+        lines.append(f"{'total':<28s} {self.total:10.3f} s")
+        return "\n".join(lines)
+
+
+_counters: dict[str, itertools.count] = {}
+
+
+def fresh_name(prefix: str) -> str:
+    """Return a unique name ``prefix_<n>`` (process-wide monotonic)."""
+    counter = _counters.setdefault(prefix, itertools.count())
+    return f"{prefix}_{next(counter)}"
+
+
+def manhattan(ax: int, ay: int, bx: int, by: int) -> int:
+    """Manhattan distance between two tile coordinates."""
+    return abs(ax - bx) + abs(ay - by)

@@ -1,0 +1,28 @@
+"""Analysis: latency model, productivity accounting, reporting."""
+
+from .compare import SOTA_TABLE, SotaEntry, comparison_rows
+from .floorplan import module_legend, render_floorplan
+from .latency import ComponentLatency, NetworkLatency, component_cycles, network_latency
+from .productivity import ProductivityReport, compare_productivity
+from .report import format_table, pct_str, ratio_str
+from .simulate import SimulationReport, StageTrace, simulate_stream
+
+__all__ = [
+    "SOTA_TABLE",
+    "render_floorplan",
+    "module_legend",
+    "SotaEntry",
+    "comparison_rows",
+    "ComponentLatency",
+    "NetworkLatency",
+    "component_cycles",
+    "network_latency",
+    "ProductivityReport",
+    "compare_productivity",
+    "format_table",
+    "SimulationReport",
+    "StageTrace",
+    "simulate_stream",
+    "pct_str",
+    "ratio_str",
+]

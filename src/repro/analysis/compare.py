@@ -1,0 +1,60 @@
+"""State-of-the-art comparison (paper Table IV).
+
+The literature rows are constants quoted from the paper; our row is
+measured by the VGG benchmark.  As the paper itself concedes, absolute
+cross-platform comparison is not apples-to-apples — the table is
+"qualitative reference".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SotaEntry", "SOTA_TABLE", "comparison_rows"]
+
+
+@dataclass(frozen=True)
+class SotaEntry:
+    """One accelerator row of Table IV."""
+
+    label: str
+    fpga: str
+    fmax_mhz: float
+    precision: str
+    dsp_util_pct: float
+    latency_ms: float | None
+
+
+#: Literature rows exactly as quoted in the paper's Table IV.
+SOTA_TABLE: list[SotaEntry] = [
+    SotaEntry("Zhang et al. (ZC706)", "ZC706", 200.0, "fixed 16", 90.0, 40.7),
+    SotaEntry("Caffeine (KU460)", "Xilinx KU460", 200.0, "fixed 16", 38.0, None),
+    SotaEntry("McDanel et al. (VC707)", "VC707", 170.0, "fixed 16", 4.0, 2.28),
+    SotaEntry("Paper's work (KU060)", "Kintex KU060", 263.0, "fixed 16", 76.0, 42.68),
+]
+
+
+def comparison_rows(our_fmax_mhz: float, our_dsp_pct: float, our_latency_ms: float) -> list[list[str]]:
+    """Table IV rows with our measured result appended."""
+    rows = [
+        [
+            e.label,
+            e.fpga,
+            f"{e.fmax_mhz:.0f} MHz",
+            e.precision,
+            f"{e.dsp_util_pct:.0f}%",
+            f"{e.latency_ms:.2f} ms" if e.latency_ms is not None else "-",
+        ]
+        for e in SOTA_TABLE
+    ]
+    rows.append(
+        [
+            "This reproduction",
+            "ku5p-like (simulated)",
+            f"{our_fmax_mhz:.0f} MHz",
+            "fixed 16",
+            f"{our_dsp_pct:.0f}%",
+            f"{our_latency_ms:.2f} ms",
+        ]
+    )
+    return rows

@@ -1,0 +1,82 @@
+"""ASCII floorplan rendering.
+
+Renders a placed design as a downsampled character grid: one letter per
+module (component instance), ``|`` for I/O columns (fabric
+discontinuities), ``.`` for empty fabric.  Used by the examples to show
+where the component placer put each pre-implemented block — the textual
+equivalent of the paper's Fig. 8 ("VGG architecture with labelled
+components").
+"""
+
+from __future__ import annotations
+
+from ..fabric.device import Device, TileType
+from ..netlist.design import Design
+
+__all__ = ["render_floorplan", "module_legend"]
+
+#: Symbols assigned to modules in first-seen order.
+_SYMBOLS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def _module_symbols(design: Design) -> dict[str, str]:
+    modules = design.modules()
+    return {m: _SYMBOLS[i % len(_SYMBOLS)] for i, m in enumerate(modules)}
+
+
+def render_floorplan(
+    design: Design, device: Device, *, width: int = 96, height: int = 36
+) -> str:
+    """Render placed cells as a ``width x height`` character map.
+
+    Rows are printed top-down (row 0 of the device at the bottom, like a
+    die photo).  When several modules land in one character cell, the one
+    with the most cells wins.
+    """
+    width = min(width, device.ncols)
+    height = min(height, device.nrows)
+    symbols = _module_symbols(design)
+
+    # votes[y][x] -> {symbol: count}
+    votes: list[list[dict[str, int]]] = [
+        [dict() for _ in range(width)] for _ in range(height)
+    ]
+    for cell in design.cells.values():
+        if not cell.is_placed:
+            continue
+        col, row = cell.placement
+        x = min(width - 1, col * width // device.ncols)
+        y = min(height - 1, row * height // device.nrows)
+        symbol = symbols.get(cell.module or "", "#")
+        bucket = votes[y][x]
+        bucket[symbol] = bucket.get(symbol, 0) + 1
+
+    io_marks = {
+        min(width - 1, int(c) * width // device.ncols)
+        for c in device.io_columns
+    }
+    lines: list[str] = []
+    for y in reversed(range(height)):
+        chars = []
+        for x in range(width):
+            bucket = votes[y][x]
+            if bucket:
+                chars.append(max(bucket.items(), key=lambda kv: kv[1])[0])
+            elif x in io_marks:
+                chars.append("|")
+            else:
+                chars.append(".")
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def module_legend(design: Design) -> str:
+    """One line per module: its symbol, name, and cell count."""
+    symbols = _module_symbols(design)
+    counts: dict[str, int] = {}
+    for cell in design.cells.values():
+        if cell.module:
+            counts[cell.module] = counts.get(cell.module, 0) + 1
+    return "\n".join(
+        f"  {symbols[m]} = {m} ({counts.get(m, 0)} cells)" for m in design.modules()
+    )

@@ -1,0 +1,44 @@
+"""Table rendering for the benchmark harness.
+
+The benchmarks print paper-style tables with the paper's reported value
+next to the measured one, so a reader can check the *shape* claims
+(who wins, by what factor) at a glance.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "ratio_str", "pct_str"]
+
+
+def format_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """Render an aligned ASCII table; cells are str()-ed."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(c))
+            else:
+                widths.append(len(c))
+    def fmt(row):
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(row))
+    sep = "  ".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(headers))
+    lines.append(sep)
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def ratio_str(ours: float, baseline: float) -> str:
+    """``1.26x``-style ratio string (``n/a`` when baseline is zero)."""
+    if baseline == 0:
+        return "n/a"
+    return f"{ours / baseline:.2f}x"
+
+
+def pct_str(fraction: float) -> str:
+    return f"{100 * fraction:.1f}%"

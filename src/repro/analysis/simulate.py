@@ -1,0 +1,117 @@
+"""Stream-architecture execution simulation.
+
+The paper's accelerators are "stream-like": components connected by
+single-source, single-sink FIFO queues with memory controllers between
+stages that need address generation (Sec. IV-B1, Fig. 5).  This module
+simulates one inference at the component level under two scheduling
+disciplines:
+
+* ``store_forward`` — each component consumes the *complete* feature map
+  of its predecessor (what the memory controllers in the stock LeNet/VGG
+  architectures do); total latency is the sum of component latencies,
+  matching :func:`repro.analysis.latency.network_latency`.
+* ``streaming`` — a component starts as soon as its predecessor has
+  produced the first full input window (the deep-pipelined alternative
+  the paper cites from streaming accelerators); stages overlap and total
+  latency approaches the slowest stage plus fill time.
+
+The simulator also tracks per-stage busy/stall breakdowns so the
+examples can show where time goes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cnn.graph import Component
+from .latency import FILL_CYCLES, component_cycles
+
+__all__ = ["StageTrace", "SimulationReport", "simulate_stream"]
+
+
+@dataclass(frozen=True)
+class StageTrace:
+    """Activity of one component during the simulated inference."""
+
+    name: str
+    start_cycle: int
+    finish_cycle: int
+    compute_cycles: int
+
+    @property
+    def stall_cycles(self) -> int:
+        return (self.finish_cycle - self.start_cycle) - self.compute_cycles
+
+
+@dataclass
+class SimulationReport:
+    """Result of one simulated inference."""
+
+    mode: str
+    fmax_mhz: float
+    stages: list[StageTrace] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return max((s.finish_cycle for s in self.stages), default=0)
+
+    @property
+    def total_us(self) -> float:
+        return self.total_cycles / self.fmax_mhz
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_us / 1e3
+
+    def summary(self) -> str:
+        return (
+            f"{self.mode}: {self.total_cycles} cycles at {self.fmax_mhz:.0f} MHz "
+            f"= {self.total_us:.2f} us over {len(self.stages)} stages"
+        )
+
+
+def simulate_stream(
+    components: list[Component],
+    fmax_mhz: float,
+    *,
+    parallelism_of=None,
+    mode: str = "store_forward",
+) -> SimulationReport:
+    """Simulate one batch-1 inference through the component chain.
+
+    ``parallelism_of(comp)`` supplies the generator parallelism metadata
+    (as in :func:`repro.analysis.latency.network_latency`).
+    """
+    if fmax_mhz <= 0:
+        raise ValueError(f"fmax must be positive, got {fmax_mhz}")
+    if mode not in ("store_forward", "streaming"):
+        raise ValueError(f"unknown mode {mode!r}")
+
+    report = SimulationReport(mode=mode, fmax_mhz=fmax_mhz)
+    prev_finish = 0
+    prev_first_out = 0
+    for comp in components:
+        par = parallelism_of(comp) if parallelism_of else None
+        compute = component_cycles(comp, par)
+        if mode == "store_forward":
+            start = prev_finish
+            finish = start + compute
+            first_out = finish
+        else:
+            # the stage may begin once the predecessor has filled the
+            # first input window, but cannot finish before its
+            # predecessor has delivered everything it needs
+            start = prev_first_out
+            finish = max(start + compute, prev_finish + FILL_CYCLES)
+            first_out = start + FILL_CYCLES
+        report.stages.append(
+            StageTrace(
+                name=comp.name,
+                start_cycle=start,
+                finish_cycle=finish,
+                compute_cycles=compute,
+            )
+        )
+        prev_finish = finish
+        prev_first_out = first_out
+    return report

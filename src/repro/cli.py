@@ -1,0 +1,194 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the library without writing code:
+
+* ``info [--part NAME]`` — describe a device part.
+* ``models`` — list the stock networks and their Table-I workloads.
+* ``run --model lenet5 [--flow both] [--granularity layer] ...`` — build
+  an accelerator with the baseline and/or pre-implemented flow and print
+  the comparison.
+* ``floorplan --model lenet5`` — stitch and render the ASCII floorplan.
+* ``explore --component conv2`` — sweep the function-optimization space
+  for one of the stock LeNet components.
+
+All commands accept ``--seed`` and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    compare_productivity,
+    format_table,
+    module_legend,
+    render_floorplan,
+)
+from .cnn import MODEL_CATALOG, get_model
+from .fabric import Device, PART_CATALOG
+from .rapidwright import PreImplementedFlow, explore_component
+from .vivado import VivadoFlow
+
+__all__ = ["main", "build_parser"]
+
+#: Stock LeNet components selectable by ``explore --component``.
+_EXPLORE_TARGETS = {
+    "conv1": lambda: __import__("repro.synth", fromlist=["gen_conv"]).gen_conv(
+        1, 32, 32, 5, 6, rom_weights=True
+    ),
+    "conv2": lambda: __import__("repro.synth", fromlist=["gen_conv"]).gen_conv(
+        6, 14, 14, 5, 16, rom_weights=True
+    ),
+    "pool1": lambda: __import__("repro.synth", fromlist=["gen_pool"]).gen_pool(
+        6, 28, 28, 2, include_relu=True
+    ),
+    "fc1": lambda: __import__("repro.synth", fromlist=["gen_fc"]).gen_fc(
+        400, 120, rom_weights=True
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Layer-based pre-implemented flow for mapping CNNs on FPGA",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="describe a device part")
+    p_info.add_argument("--part", default="ku5p-like", choices=sorted(PART_CATALOG))
+
+    sub.add_parser("models", help="list stock networks and workloads")
+
+    p_run = sub.add_parser("run", help="build an accelerator")
+    p_run.add_argument("--model", default="lenet5", choices=sorted(MODEL_CATALOG))
+    p_run.add_argument("--part", default="ku5p-like", choices=sorted(PART_CATALOG))
+    p_run.add_argument("--flow", default="both",
+                       choices=("baseline", "preimpl", "both"))
+    p_run.add_argument("--granularity", default="layer", choices=("layer", "block"))
+    p_run.add_argument("--stream-weights", action="store_true",
+                       help="stream coefficients from off-chip (VGG style)")
+    p_run.add_argument("--pipeline", action="store_true",
+                       help="phys-opt pipelining to the slowest-component bound")
+    p_run.add_argument("--seed", type=int, default=0)
+
+    p_fp = sub.add_parser("floorplan", help="stitch and render the floorplan")
+    p_fp.add_argument("--model", default="lenet5", choices=sorted(MODEL_CATALOG))
+    p_fp.add_argument("--part", default="ku5p-like", choices=sorted(PART_CATALOG))
+    p_fp.add_argument("--granularity", default="layer", choices=("layer", "block"))
+    p_fp.add_argument("--width", type=int, default=100)
+    p_fp.add_argument("--height", type=int, default=30)
+    p_fp.add_argument("--seed", type=int, default=0)
+
+    p_ex = sub.add_parser("explore", help="function-optimization DSE")
+    p_ex.add_argument("--component", default="conv2", choices=sorted(_EXPLORE_TARGETS))
+    p_ex.add_argument("--part", default="ku5p-like", choices=sorted(PART_CATALOG))
+    p_ex.add_argument("--seeds", type=int, default=3)
+    p_ex.add_argument("--anchor-weight", type=float, default=0.0)
+    return parser
+
+
+def _cmd_info(args, out) -> int:
+    device = Device.from_name(args.part)
+    print(device.describe(), file=out)
+    totals = device.resource_totals
+    rows = [[k, v] for k, v in sorted(totals.items())]
+    print(format_table(["resource", "total"], rows), file=out)
+    io_positions = ", ".join(str(int(c)) for c in device.io_columns)
+    print(f"I/O (discontinuity) columns: {io_positions}", file=out)
+    return 0
+
+
+def _cmd_models(args, out) -> int:
+    rows = []
+    for name in sorted(MODEL_CATALOG):
+        totals = get_model(name).totals()
+        rows.append([
+            name,
+            totals["conv_layers"],
+            totals["fc_layers"],
+            f"{totals['total_weights'] / 1e6:.3g} M",
+            f"{totals['total_macs'] / 1e9:.3g} G",
+        ])
+    print(format_table(["model", "convs", "fcs", "weights", "MACs"], rows), file=out)
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    device = Device.from_name(args.part)
+    net = get_model(args.model)
+    rom = not args.stream_weights
+    results = {}
+    if args.flow in ("baseline", "both"):
+        results["baseline"] = VivadoFlow(device, effort="medium", seed=args.seed).run(
+            net, granularity=args.granularity, rom_weights=rom
+        )
+    if args.flow in ("preimpl", "both"):
+        flow = PreImplementedFlow(device, component_effort="high", seed=args.seed)
+        db, offline = flow.build_database(net, granularity=args.granularity,
+                                          rom_weights=rom)
+        results["preimpl"] = flow.run(
+            net, granularity=args.granularity, rom_weights=rom, database=db,
+            pipeline_target_mhz="auto" if args.pipeline else None,
+        )
+        print(f"offline component library: {offline.total:.2f} s "
+              f"({len(db)} checkpoints)", file=out)
+    rows = [
+        [name, f"{res.fmax_mhz:.1f} MHz", f"{res.runtime_s:.2f} s"]
+        for name, res in results.items()
+    ]
+    print(format_table(["flow", "Fmax", "compile"], rows,
+                       title=f"{args.model} on {args.part}"), file=out)
+    if len(results) == 2:
+        report = compare_productivity(results["baseline"], results["preimpl"])
+        print(report.summary(), file=out)
+    return 0
+
+
+def _cmd_floorplan(args, out) -> int:
+    device = Device.from_name(args.part)
+    net = get_model(args.model)
+    flow = PreImplementedFlow(device, component_effort="high", seed=args.seed)
+    result = flow.run(net, granularity=args.granularity, rom_weights=True)
+    print(f"{args.model}: {result.fmax_mhz:.1f} MHz stitched", file=out)
+    print(render_floorplan(result.design, device, width=args.width,
+                           height=args.height), file=out)
+    print(module_legend(result.design), file=out)
+    return 0
+
+
+def _cmd_explore(args, out) -> int:
+    device = Device.from_name(args.part)
+    factory = _EXPLORE_TARGETS[args.component]
+    result = explore_component(
+        factory, device,
+        seeds=tuple(range(args.seeds)),
+        slacks=(1.05, 1.4),
+        anchor_weight=args.anchor_weight,
+    )
+    print(result.report(), file=out)
+    best = result.best_trial
+    print(f"best: {best.fmax_mhz:.1f} MHz, {best.anchors} anchors "
+          f"(seed {best.seed}, slack {best.slack})", file=out)
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "models": _cmd_models,
+    "run": _cmd_run,
+    "floorplan": _cmd_floorplan,
+    "explore": _cmd_explore,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

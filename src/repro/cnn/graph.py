@@ -1,0 +1,302 @@
+"""Data-flow graph (DFG) of a CNN and its decomposition into components.
+
+The "CNN architecture definition" of the paper is a DFG whose nodes are
+layers and whose edges carry feature maps.  The architecture-optimization
+stage parses this graph breadth-first (Algorithm 1) to discover the
+components to load from the checkpoint database.
+
+Component grouping follows the paper's fusion rule: a node joins the
+previous component when it does not require a memory controller (ReLU,
+Flatten); nodes that do (conv, pool, FC) start a new component.  A
+coarser ``"block"`` granularity groups consecutive conv(+relu) stacks
+into one component — the granularity used for VGG in Fig. 7/8, where the
+network is labelled with 12 components.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from .layers import Conv2D, Input, Layer, Shape
+
+__all__ = ["LayerNode", "DFG", "Component", "group_components"]
+
+
+@dataclass
+class LayerNode:
+    """A DFG node: a layer plus its resolved input/output shapes."""
+
+    name: str
+    layer: Layer
+    in_shape: Shape | None = None
+    out_shape: Shape | None = None
+
+    @property
+    def kind(self) -> str:
+        return self.layer.kind
+
+    def signature(self) -> tuple:
+        if self.in_shape is None:
+            raise ValueError(f"node {self.name}: shapes not inferred yet")
+        return self.layer.signature(self.in_shape)
+
+    def n_weights(self) -> int:
+        return self.layer.n_weights(self.in_shape)
+
+    def n_macs(self) -> int:
+        return self.layer.n_macs(self.in_shape)
+
+
+class DFG:
+    """Directed acyclic data-flow graph of layers.
+
+    Supports general DAGs; the stock models are linear chains.  Shapes are
+    inferred on construction via :meth:`infer_shapes`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.nodes: dict[str, LayerNode] = {}
+        self.adj: dict[str, list[str]] = {}
+        self.radj: dict[str, list[str]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, layer: Layer) -> LayerNode:
+        if layer.name in self.nodes:
+            raise ValueError(f"duplicate node {layer.name!r} in DFG {self.name}")
+        node = LayerNode(layer.name, layer)
+        self.nodes[layer.name] = node
+        self.adj[layer.name] = []
+        self.radj[layer.name] = []
+        return node
+
+    def add_edge(self, src: str, dst: str) -> None:
+        for n in (src, dst):
+            if n not in self.nodes:
+                raise KeyError(f"unknown node {n!r}")
+        if dst in self.adj[src]:
+            raise ValueError(f"duplicate edge {src}->{dst}")
+        self.adj[src].append(dst)
+        self.radj[dst].append(src)
+
+    @classmethod
+    def sequential(cls, name: str, layers: list[Layer]) -> "DFG":
+        """Build a linear chain DFG (the stock LeNet/VGG topology)."""
+        dfg = cls(name)
+        prev: str | None = None
+        for layer in layers:
+            dfg.add_node(layer)
+            if prev is not None:
+                dfg.add_edge(prev, layer.name)
+            prev = layer.name
+        dfg.infer_shapes()
+        return dfg
+
+    # -- traversal ----------------------------------------------------------
+
+    @property
+    def roots(self) -> list[str]:
+        return [n for n in self.nodes if not self.radj[n]]
+
+    @property
+    def sinks(self) -> list[str]:
+        return [n for n in self.nodes if not self.adj[n]]
+
+    def bfs(self, root: str | None = None) -> list[str]:
+        """Breadth-first order from *root* (default: all roots).
+
+        This is the traversal of the paper's Algorithm 1, chosen because
+        CNN DFGs "are generally deeper than wider".
+        """
+        starts = [root] if root else self.roots
+        seen: set[str] = set()
+        order: list[str] = []
+        queue: deque[str] = deque()
+        for s in starts:
+            if s not in self.nodes:
+                raise KeyError(f"unknown root {s!r}")
+            if s not in seen:
+                seen.add(s)
+                queue.append(s)
+        while queue:
+            v = queue.popleft()
+            order.append(v)
+            for w in self.adj[v]:
+                if w not in seen and all(p in seen for p in self.radj[w]):
+                    seen.add(w)
+                    queue.append(w)
+        return order
+
+    def topo_order(self) -> list[str]:
+        """Kahn topological order; raises on cycles."""
+        indeg = {n: len(self.radj[n]) for n in self.nodes}
+        queue = deque(n for n, d in indeg.items() if d == 0)
+        order: list[str] = []
+        while queue:
+            v = queue.popleft()
+            order.append(v)
+            for w in self.adj[v]:
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    queue.append(w)
+        if len(order) != len(self.nodes):
+            raise ValueError(f"DFG {self.name} contains a cycle")
+        return order
+
+    # -- shape inference -----------------------------------------------------
+
+    def infer_shapes(self) -> None:
+        """Propagate feature-map shapes through the graph in topo order."""
+        for name in self.topo_order():
+            node = self.nodes[name]
+            preds = self.radj[name]
+            if preds:
+                shapes = {self.nodes[p].out_shape for p in preds}
+                if len(shapes) != 1:
+                    raise ValueError(f"node {name}: mismatched input shapes {shapes}")
+                node.in_shape = next(iter(shapes))
+            elif not isinstance(node.layer, Input):
+                raise ValueError(f"root node {name} must be an Input layer")
+            else:
+                node.in_shape = node.layer.shape
+            node.out_shape = node.layer.out_shape(node.in_shape)
+
+    # -- workload accounting (Table I) ---------------------------------------
+
+    def totals(self) -> dict[str, int]:
+        """Weights/MACs split by conv vs FC, as reported in Table I."""
+        out = {
+            "conv_layers": 0,
+            "conv_weights": 0,
+            "conv_macs": 0,
+            "fc_layers": 0,
+            "fc_weights": 0,
+            "fc_macs": 0,
+        }
+        for node in self.nodes.values():
+            if node.kind == "conv":
+                out["conv_layers"] += 1
+                out["conv_weights"] += node.n_weights()
+                out["conv_macs"] += node.n_macs()
+            elif node.kind == "fc":
+                out["fc_layers"] += 1
+                out["fc_weights"] += node.n_weights()
+                out["fc_macs"] += node.n_macs()
+        out["total_weights"] = out["conv_weights"] + out["fc_weights"]
+        out["total_macs"] = out["conv_macs"] + out["fc_macs"]
+        return out
+
+    def __repr__(self) -> str:
+        return f"<DFG {self.name}: {len(self.nodes)} nodes>"
+
+
+@dataclass
+class Component:
+    """A group of DFG nodes implemented as one pre-built checkpoint.
+
+    Attributes
+    ----------
+    name:
+        Instance name in the accelerator (e.g. ``comp3_conv2``).
+    nodes:
+        Member node names, in dataflow order.
+    kind:
+        Component kind string (``conv``, ``pool_relu``, ``conv_block``...).
+    signature:
+        Hashable database key — equal signatures share one checkpoint, the
+        reuse the paper's productivity gain comes from.
+    in_shape / out_shape:
+        Interface feature-map shapes.
+    """
+
+    name: str
+    nodes: list[str]
+    kind: str
+    signature: tuple
+    in_shape: Shape
+    out_shape: Shape
+    macs: int = 0
+    weights: int = 0
+    members: list[LayerNode] = field(default_factory=list)
+
+
+def group_components(dfg: DFG, granularity: str = "layer") -> list[Component]:
+    """Decompose *dfg* into pre-implementable components.
+
+    ``granularity="layer"`` applies the memory-controller fusion rule
+    (LeNet in Table III: conv / pool+relu / fc components).
+    ``granularity="block"`` additionally merges consecutive conv components
+    into one (VGG in Fig. 7: 5 conv blocks + pools + FCs = 12 components,
+    with pool5 folded into the last conv block).
+
+    Only linear chains are grouped; branching DFGs raise.
+    """
+    if granularity not in ("layer", "block"):
+        raise ValueError(f"unknown granularity {granularity!r}")
+    order = dfg.bfs()
+    for n in order:
+        if len(dfg.adj[n]) > 1 or len(dfg.radj[n]) > 1:
+            raise ValueError("component grouping supports linear chains only")
+
+    groups: list[list[LayerNode]] = []
+    for name in order:
+        node = dfg.nodes[name]
+        if node.kind == "input":
+            continue
+        if groups and not node.layer.needs_memctrl:
+            groups[-1].append(node)
+        else:
+            groups.append([node])
+
+    if granularity == "block":
+        merged: list[list[LayerNode]] = []
+        for grp in groups:
+            prev_kind = merged[-1][0].kind if merged else None
+            if merged and grp[0].kind == "conv" and prev_kind == "conv":
+                merged[-1].extend(grp)
+            elif (
+                merged
+                and grp[0].kind == "pool"
+                # Fold the final pool into the preceding conv block when the
+                # next component is an FC stage (paper Fig. 8 layout).
+                and prev_kind == "conv"
+                and _next_is_fc(groups, grp)
+            ):
+                merged[-1].extend(grp)
+            else:
+                merged.append(grp)
+        groups = merged
+
+    components: list[Component] = []
+    for i, grp in enumerate(groups):
+        kind = "_".join(dict.fromkeys(n.kind for n in grp))
+        if granularity == "block" and sum(1 for n in grp if n.kind == "conv") > 1:
+            kind = "conv_block"
+        sig = (kind,) + tuple(n.signature() for n in grp)
+        components.append(
+            Component(
+                name=f"comp{i}_{grp[0].name}",
+                nodes=[n.name for n in grp],
+                kind=kind,
+                signature=sig,
+                in_shape=grp[0].in_shape,
+                out_shape=grp[-1].out_shape,
+                macs=sum(n.n_macs() for n in grp),
+                weights=sum(n.n_weights() for n in grp),
+                members=list(grp),
+            )
+        )
+    return components
+
+
+def _next_is_fc(groups: list[list[LayerNode]], current: list[LayerNode]) -> bool:
+    idx = groups.index(current)
+    for later in groups[idx + 1 :]:
+        for node in later:
+            if node.kind == "fc":
+                return True
+            if node.kind in ("conv", "pool"):
+                return False
+    return False

@@ -1,0 +1,142 @@
+"""Golden-model CNN inference in NumPy.
+
+The accelerator's functional behaviour is checked against this reference:
+batch-1 forward propagation with vectorized im2col convolutions (see the
+HPC guide: vectorize loops, reuse views, avoid copies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import make_rng
+from .graph import DFG
+from .layers import Conv2D, Dense, Flatten, Input, MaxPool2D, ReLU
+
+__all__ = ["random_weights", "run_inference", "conv2d", "maxpool2d", "relu", "dense"]
+
+
+def _im2col(x: np.ndarray, kernel: int, stride: int, pad: int) -> tuple[np.ndarray, int, int]:
+    """Unfold ``(C, H, W)`` into ``(C*k*k, OH*OW)`` patches (view-based)."""
+    c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (pad, pad), (pad, pad)))
+        h, w = h + 2 * pad, w + 2 * pad
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    s0, s1, s2 = x.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(c, kernel, kernel, oh, ow),
+        strides=(s0, s1, s2, s1 * stride, s2 * stride),
+        writeable=False,
+    )
+    return patches.reshape(c * kernel * kernel, oh * ow), oh, ow
+
+
+def conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray, stride: int = 1, pad: int = 0) -> np.ndarray:
+    """2-D convolution.  ``weight`` is ``(F, C, k, k)``, ``bias`` ``(F,)``."""
+    f, c, k, _ = weight.shape
+    if x.shape[0] != c:
+        raise ValueError(f"channel mismatch: input {x.shape[0]}, weight {c}")
+    cols, oh, ow = _im2col(x, k, stride, pad)
+    out = weight.reshape(f, c * k * k) @ cols + bias[:, None]
+    return out.reshape(f, oh, ow)
+
+
+def maxpool2d(x: np.ndarray, size: int, stride: int | None = None) -> np.ndarray:
+    """Max pooling over non-overlapping (or strided) windows."""
+    stride = stride or size
+    c, h, w = x.shape
+    oh = (h - size) // stride + 1
+    ow = (w - size) // stride + 1
+    s0, s1, s2 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(c, oh, ow, size, size),
+        strides=(s0, s1 * stride, s2 * stride, s1, s2),
+        writeable=False,
+    )
+    return windows.max(axis=(3, 4))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0)
+
+
+def dense(x: np.ndarray, weight: np.ndarray, bias: np.ndarray) -> np.ndarray:
+    """Fully connected layer: ``weight`` is ``(units, features)``."""
+    return weight @ x + bias
+
+
+def random_weights(dfg: DFG, seed: int = 0, scale: float = 0.1) -> dict[str, dict[str, np.ndarray]]:
+    """Deterministic synthetic weights for every parameterized layer.
+
+    The paper's evaluation does not depend on trained weight values (only
+    shapes drive the hardware), so seeded Gaussian weights suffice.
+    """
+    rng = make_rng(seed)
+    weights: dict[str, dict[str, np.ndarray]] = {}
+    for name in dfg.topo_order():
+        node = dfg.nodes[name]
+        layer = node.layer
+        if isinstance(layer, Conv2D):
+            cin = node.in_shape[0]
+            weights[name] = {
+                "weight": rng.normal(0, scale, size=(layer.filters, cin, layer.kernel, layer.kernel)),
+                "bias": rng.normal(0, scale, size=layer.filters),
+            }
+        elif isinstance(layer, Dense):
+            features = node.in_shape[0]
+            weights[name] = {
+                "weight": rng.normal(0, scale, size=(layer.units, features)),
+                "bias": rng.normal(0, scale, size=layer.units),
+            }
+    return weights
+
+
+def run_inference(
+    dfg: DFG,
+    x: np.ndarray,
+    weights: dict[str, dict[str, np.ndarray]],
+    collect: bool = False,
+) -> np.ndarray | tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Forward-propagate *x* through *dfg* (linear chains).
+
+    With ``collect=True`` also returns every intermediate activation —
+    used to verify the stitched accelerator stage by stage.
+    """
+    order = dfg.topo_order()
+    acts: dict[str, np.ndarray] = {}
+    current = None
+    for name in order:
+        node = dfg.nodes[name]
+        layer = node.layer
+        preds = dfg.radj[name]
+        if preds:
+            current = acts[preds[0]]
+        if isinstance(layer, Input):
+            if x.shape != layer.shape:
+                raise ValueError(f"input shape {x.shape} != declared {layer.shape}")
+            current = np.asarray(x, dtype=float)
+        elif isinstance(layer, Conv2D):
+            w = weights[name]
+            current = conv2d(current, w["weight"], w["bias"], layer.stride, layer.pad_amount(node.in_shape))
+        elif isinstance(layer, MaxPool2D):
+            current = maxpool2d(current, layer.size, layer.eff_stride)
+        elif isinstance(layer, ReLU):
+            current = relu(current)
+        elif isinstance(layer, Flatten):
+            current = current.reshape(-1)
+        elif isinstance(layer, Dense):
+            w = weights[name]
+            current = dense(current, w["weight"], w["bias"])
+        else:
+            raise TypeError(f"cannot evaluate layer kind {layer.kind!r}")
+        if current.shape != node.out_shape:
+            raise AssertionError(
+                f"layer {name}: shape {current.shape} != inferred {node.out_shape}"
+            )
+        acts[name] = current
+    result = acts[order[-1]]
+    return (result, acts) if collect else result

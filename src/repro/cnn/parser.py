@@ -1,0 +1,182 @@
+"""Parser for the textual CNN architecture definition.
+
+The paper's architecture-optimization stage takes a user-provided "CNN
+architecture definition".  We define a small line-oriented format::
+
+    # LeNet-5
+    network lenet5
+    input channels=1 height=32 width=32
+    conv name=conv1 filters=6 kernel=5 stride=1 padding=valid
+    maxpool name=pool1 size=2
+    relu name=relu1
+    conv name=conv2 filters=16 kernel=5
+    maxpool name=pool2 size=2
+    relu name=relu2
+    flatten name=flatten
+    dense name=fc1 units=120
+    dense name=fc2 units=10
+
+Each directive appends a layer to a linear chain (explicit ``after=``
+arguments attach a layer to an arbitrary predecessor, enabling DAGs).
+Comments start with ``#``; blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+from .graph import DFG
+from .layers import Conv2D, Dense, Flatten, Input, Layer, MaxPool2D, ReLU
+
+__all__ = ["parse_architecture", "ParseError", "render_architecture"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed architecture-definition text."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _parse_kv(tokens: list[str], lineno: int) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for tok in tokens:
+        if "=" not in tok:
+            raise ParseError(lineno, f"expected key=value, got {tok!r}")
+        key, value = tok.split("=", 1)
+        if key in out:
+            raise ParseError(lineno, f"duplicate key {key!r}")
+        out[key] = value
+    return out
+
+
+def _intval(kv: dict[str, str], key: str, lineno: int, default: int | None = None) -> int:
+    if key not in kv:
+        if default is None:
+            raise ParseError(lineno, f"missing required key {key!r}")
+        return default
+    try:
+        return int(kv[key])
+    except ValueError:
+        raise ParseError(lineno, f"key {key!r} must be an integer, got {kv[key]!r}") from None
+
+
+def parse_architecture(text: str) -> DFG:
+    """Parse an architecture definition into a shape-inferred :class:`DFG`."""
+    name = "network"
+    dfg: DFG | None = None
+    prev: str | None = None
+    auto_idx = 0
+    pending: list[tuple[Layer, str | None]] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        directive, rest = tokens[0].lower(), tokens[1:]
+
+        if directive == "network":
+            if len(rest) != 1:
+                raise ParseError(lineno, "network takes exactly one name")
+            name = rest[0]
+            continue
+
+        kv = _parse_kv(rest, lineno)
+        lname = kv.pop("name", None)
+        after = kv.pop("after", None)
+        if lname is None:
+            lname = f"{directive}{auto_idx}"
+            auto_idx += 1
+
+        if directive == "input":
+            layer: Layer = Input(
+                lname,
+                shape=(
+                    _intval(kv, "channels", lineno),
+                    _intval(kv, "height", lineno),
+                    _intval(kv, "width", lineno),
+                ),
+            )
+        elif directive == "conv":
+            padding: str | int = kv.pop("padding", "valid")
+            if isinstance(padding, str) and padding not in ("valid", "same"):
+                try:
+                    padding = int(padding)
+                except ValueError:
+                    raise ParseError(lineno, f"bad padding {padding!r}") from None
+            layer = Conv2D(
+                lname,
+                filters=_intval(kv, "filters", lineno),
+                kernel=_intval(kv, "kernel", lineno),
+                stride=_intval(kv, "stride", lineno, default=1),
+                padding=padding,
+            )
+            kv.pop("filters", None), kv.pop("kernel", None), kv.pop("stride", None)
+        elif directive == "maxpool":
+            layer = MaxPool2D(
+                lname,
+                size=_intval(kv, "size", lineno),
+                stride=_intval(kv, "stride", lineno, default=_intval(kv, "size", lineno)),
+            )
+            kv.pop("size", None), kv.pop("stride", None)
+        elif directive == "relu":
+            layer = ReLU(lname)
+        elif directive == "flatten":
+            layer = Flatten(lname)
+        elif directive == "dense":
+            layer = Dense(lname, units=_intval(kv, "units", lineno))
+            kv.pop("units", None)
+        else:
+            raise ParseError(lineno, f"unknown directive {directive!r}")
+
+        consumed = {"channels", "height", "width", "filters", "kernel", "stride",
+                    "padding", "size", "units"}
+        extra = set(kv) - consumed
+        if extra:
+            raise ParseError(lineno, f"unknown keys for {directive}: {sorted(extra)}")
+        pending.append((layer, after))
+
+    if not pending:
+        raise ParseError(0, "empty architecture definition")
+
+    dfg = DFG(name)
+    prev = None
+    for layer, after in pending:
+        dfg.add_node(layer)
+        parent = after if after is not None else prev
+        if parent is not None:
+            if parent not in dfg.nodes:
+                raise ParseError(0, f"layer {layer.name!r}: unknown predecessor {parent!r}")
+            dfg.add_edge(parent, layer.name)
+        prev = layer.name
+    dfg.infer_shapes()
+    return dfg
+
+
+def render_architecture(dfg: DFG) -> str:
+    """Render a linear DFG back to architecture-definition text
+    (round-trips with :func:`parse_architecture` for stock models)."""
+    lines = [f"network {dfg.name}"]
+    for name in dfg.bfs():
+        node = dfg.nodes[name]
+        layer = node.layer
+        if layer.kind == "input":
+            c, h, w = layer.shape
+            lines.append(f"input name={name} channels={c} height={h} width={w}")
+        elif layer.kind == "conv":
+            pad = layer.padding if isinstance(layer.padding, str) else str(layer.padding)
+            lines.append(
+                f"conv name={name} filters={layer.filters} kernel={layer.kernel} "
+                f"stride={layer.stride} padding={pad}"
+            )
+        elif layer.kind == "pool":
+            lines.append(f"maxpool name={name} size={layer.size} stride={layer.eff_stride}")
+        elif layer.kind == "relu":
+            lines.append(f"relu name={name}")
+        elif layer.kind == "flatten":
+            lines.append(f"flatten name={name}")
+        elif layer.kind == "fc":
+            lines.append(f"dense name={name} units={layer.units}")
+        else:
+            raise ValueError(f"cannot render layer kind {layer.kind!r}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,89 @@
+"""Fixed-point quantization (the paper's accelerators use fixed-16).
+
+Values are stored in Qm.n two's-complement fixed point; the default
+Q8.8 matches a 16-bit datapath with 8 fractional bits.  The quantized
+inference path verifies that the accelerator's arithmetic assumptions
+(fixed-16, per Table IV's "Precision" row) keep outputs close to the
+floating-point golden model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .graph import DFG
+from .inference import run_inference
+
+__all__ = ["FixedPointFormat", "Q8_8", "quantize", "dequantize", "quantized_inference"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Signed fixed-point format with *int_bits* + *frac_bits* + sign."""
+
+    int_bits: int = 7
+    frac_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.int_bits < 0 or self.frac_bits < 0:
+            raise ValueError("bit counts must be non-negative")
+        if self.total_bits > 64:
+            raise ValueError("formats wider than 64 bits are unsupported")
+
+    @property
+    def total_bits(self) -> int:
+        return self.int_bits + self.frac_bits + 1
+
+    @property
+    def scale(self) -> float:
+        return float(1 << self.frac_bits)
+
+    @property
+    def max_value(self) -> float:
+        return ((1 << (self.int_bits + self.frac_bits)) - 1) / self.scale
+
+    @property
+    def min_value(self) -> float:
+        return -(1 << self.int_bits)
+
+    @property
+    def resolution(self) -> float:
+        return 1.0 / self.scale
+
+
+#: 16-bit format used by the paper's accelerators ("fixed 16").
+Q8_8 = FixedPointFormat(int_bits=7, frac_bits=8)
+
+
+def quantize(x: np.ndarray, fmt: FixedPointFormat = Q8_8) -> np.ndarray:
+    """Round-to-nearest quantization with saturation, returned as integers."""
+    scaled = np.round(np.asarray(x, dtype=float) * fmt.scale)
+    lo = fmt.min_value * fmt.scale
+    hi = fmt.max_value * fmt.scale
+    return np.clip(scaled, lo, hi).astype(np.int64)
+
+
+def dequantize(q: np.ndarray, fmt: FixedPointFormat = Q8_8) -> np.ndarray:
+    return np.asarray(q, dtype=float) / fmt.scale
+
+
+def quantized_inference(
+    dfg: DFG,
+    x: np.ndarray,
+    weights: dict[str, dict[str, np.ndarray]],
+    fmt: FixedPointFormat = Q8_8,
+) -> np.ndarray:
+    """Run inference with weights and input snapped to *fmt*.
+
+    This models the accelerator's fixed-point datapath at the value level
+    (quantize-dequantize); accumulator widths are assumed sufficient, as
+    in the DSP48-based MACs of the generated engines.
+    """
+    qweights = {
+        name: {k: dequantize(quantize(v, fmt), fmt) for k, v in params.items()}
+        for name, params in weights.items()
+    }
+    qx = dequantize(quantize(x, fmt), fmt)
+    return run_inference(dfg, qx, qweights)

@@ -1,0 +1,121 @@
+"""Routing-resource graph over the device tile grid.
+
+Every fabric tile carries an interconnect (INT) tile.  The routing graph
+has one node per tile, with a wire capacity per node (how many distinct
+nets may use that INT tile).  Edges model two wire classes:
+
+* **single** wires to the four adjacent tiles (cost 1 tile each);
+* **hex** wires jumping six tiles horizontally or vertically — longer
+  reach at lower per-tile cost, like UltraScale long lines.
+
+I/O columns have reduced capacity, making them both a congestion
+bottleneck and (via the timing model) a delay penalty — the "fabric
+discontinuities" the paper blames for VGG's stitched-QoR loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .device import Device, TileType
+
+__all__ = ["RoutingGraph", "SINGLE_COST", "HEX_COST", "HEX_REACH"]
+
+#: Base cost of a single-tile wire hop (arbitrary units; timing converts).
+SINGLE_COST = 1.0
+#: Base cost of a hex wire (covers HEX_REACH tiles; cheaper per tile).
+HEX_COST = 3.0
+#: Reach of a hex wire in tiles.
+HEX_REACH = 6
+
+
+@dataclass
+class RoutingGraph:
+    """Implicit grid routing graph for a :class:`Device`.
+
+    Node ids are ``col * nrows + row``.  The graph is immutable once built;
+    routers keep their own occupancy/history arrays indexed by node id.
+    """
+
+    device: Device
+    capacity: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        dev = self.device
+        cap_col = np.where(
+            dev.col_types == TileType.IO,
+            dev.part.io_wires_per_tile,
+            dev.part.wires_per_tile,
+        ).astype(np.int32)
+        # capacity[node] with node = col * nrows + row
+        self.capacity = np.repeat(cap_col, dev.nrows)
+
+    # -- node addressing --------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return self.device.ncols * self.device.nrows
+
+    def node_id(self, col: int, row: int) -> int:
+        if not self.device.in_bounds(col, row):
+            raise IndexError(f"tile ({col},{row}) outside device")
+        return col * self.device.nrows + row
+
+    def node_xy(self, node: int) -> tuple[int, int]:
+        nrows = self.device.nrows
+        return (node // nrows, node % nrows)
+
+    # -- adjacency -----------------------------------------------------------
+
+    def neighbors(self, node: int):
+        """Yield ``(neighbor_node, base_cost, tiles_spanned)`` triples."""
+        nrows = self.device.nrows
+        ncols = self.device.ncols
+        col, row = node // nrows, node % nrows
+        # single wires
+        if row + 1 < nrows:
+            yield node + 1, SINGLE_COST, 1
+        if row > 0:
+            yield node - 1, SINGLE_COST, 1
+        if col + 1 < ncols:
+            yield node + nrows, SINGLE_COST, 1
+        if col > 0:
+            yield node - nrows, SINGLE_COST, 1
+        # hex wires
+        if row + HEX_REACH < nrows:
+            yield node + HEX_REACH, HEX_COST, HEX_REACH
+        if row - HEX_REACH >= 0:
+            yield node - HEX_REACH, HEX_COST, HEX_REACH
+        if col + HEX_REACH < ncols:
+            yield node + HEX_REACH * nrows, HEX_COST, HEX_REACH
+        if col - HEX_REACH >= 0:
+            yield node - HEX_REACH * nrows, HEX_COST, HEX_REACH
+
+    # -- path metrics ----------------------------------------------------
+
+    def path_tiles(self, path: list[int]) -> int:
+        """Total tiles spanned by a node path (sum of per-edge spans)."""
+        total = 0
+        for a, b in zip(path, path[1:]):
+            (ca, ra), (cb, rb) = self.node_xy(a), self.node_xy(b)
+            total += abs(ca - cb) + abs(ra - rb)
+        return total
+
+    def path_io_crossings(self, path: list[int]) -> int:
+        """I/O columns crossed along a node path (discontinuity penalty)."""
+        total = 0
+        for a, b in zip(path, path[1:]):
+            ca, _ = self.node_xy(a)
+            cb, _ = self.node_xy(b)
+            total += self.device.io_crossings(ca, cb)
+        return total
+
+    def lower_bound_cost(self, a: int, b: int) -> float:
+        """Admissible A* heuristic: cheapest conceivable cost between nodes."""
+        (ca, ra), (cb, rb) = self.node_xy(a), self.node_xy(b)
+        dist = abs(ca - cb) + abs(ra - rb)
+        # Hex wires give the best cost-per-tile ratio.
+        per_tile = HEX_COST / HEX_REACH
+        return dist * per_tile

@@ -1,0 +1,166 @@
+"""Physical block (pblock) regions.
+
+A pblock is an inclusive rectangle of tiles used to constrain where a
+component may be placed (paper Sec. IV-A2, "strategic floorplanning").
+Tight pblocks improve local QoR and — because UltraScale resources repeat
+column-wise — smaller pblocks admit more relocation anchors, increasing
+component reusability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import Device, SITE_FOR_TILE, TILE_FOR_CELL, TileType
+
+__all__ = ["PBlock", "auto_pblock"]
+
+
+@dataclass(frozen=True)
+class PBlock:
+    """Inclusive tile rectangle ``[col0..col1] x [row0..row1]``."""
+
+    col0: int
+    row0: int
+    col1: int
+    row1: int
+
+    def __post_init__(self) -> None:
+        if self.col0 > self.col1 or self.row0 > self.row1:
+            raise ValueError(f"degenerate pblock {self}")
+        if min(self.col0, self.row0) < 0:
+            raise ValueError(f"negative pblock corner {self}")
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return self.col1 - self.col0 + 1
+
+    @property
+    def height(self) -> int:
+        return self.row1 - self.row0 + 1
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.col0 + self.col1) / 2.0, (self.row0 + self.row1) / 2.0)
+
+    def contains(self, col: int, row: int) -> bool:
+        return self.col0 <= col <= self.col1 and self.row0 <= row <= self.row1
+
+    def contains_pblock(self, other: "PBlock") -> bool:
+        return (
+            self.col0 <= other.col0
+            and self.row0 <= other.row0
+            and self.col1 >= other.col1
+            and self.row1 >= other.row1
+        )
+
+    def overlaps(self, other: "PBlock") -> bool:
+        return not (
+            other.col0 > self.col1
+            or other.col1 < self.col0
+            or other.row0 > self.row1
+            or other.row1 < self.row0
+        )
+
+    def overlap_area(self, other: "PBlock") -> int:
+        dc = min(self.col1, other.col1) - max(self.col0, other.col0) + 1
+        dr = min(self.row1, other.row1) - max(self.row0, other.row0) + 1
+        return max(dc, 0) * max(dr, 0)
+
+    def shifted(self, dcol: int, drow: int) -> "PBlock":
+        """Translated copy (used when relocating a module's footprint)."""
+        return PBlock(self.col0 + dcol, self.row0 + drow, self.col1 + dcol, self.row1 + drow)
+
+    def within(self, device: Device) -> bool:
+        return device.in_bounds(self.col0, self.row0) and device.in_bounds(self.col1, self.row1)
+
+    # -- resources ----------------------------------------------------------
+
+    def resources(self, device: Device) -> dict[str, int]:
+        """Placeable site counts inside this pblock on *device*."""
+        if not self.within(device):
+            raise ValueError(f"{self} exceeds device {device.name}")
+        out = {site: 0 for site in SITE_FOR_TILE.values()}
+        for col in range(self.col0, self.col1 + 1):
+            site = SITE_FOR_TILE.get(device.tile_type(col))
+            if site is not None:
+                out[site] += self.height
+        return out
+
+    def sites_of(self, device: Device, cell_type: str) -> list[tuple[int, int]]:
+        """``(col, row)`` sites of *cell_type* inside the pblock, column-major."""
+        tile = TILE_FOR_CELL[cell_type]
+        return [
+            (col, row)
+            for col in range(self.col0, self.col1 + 1)
+            if device.tile_type(col) == tile
+            for row in range(self.row0, self.row1 + 1)
+        ]
+
+    def satisfies(self, device: Device, need: dict[str, int]) -> bool:
+        have = self.resources(device)
+        return all(have.get(site, 0) >= amount for site, amount in need.items())
+
+    def column_signature(self, device: Device) -> tuple[int, ...]:
+        return device.column_signature(self.col0, self.width)
+
+    def __str__(self) -> str:  # Vivado-like rendering
+        return f"pblock[X{self.col0}Y{self.row0}:X{self.col1}Y{self.row1}]"
+
+
+def auto_pblock(
+    device: Device,
+    need: dict[str, int],
+    anchor: tuple[int, int] = (0, 0),
+    slack: float = 1.15,
+    max_height: int | None = None,
+) -> PBlock:
+    """Grow a minimal pblock at *anchor* satisfying resource *need*.
+
+    Mirrors the paper's manual floorplanning step: the pblock is grown
+    column by column rightward from the anchor (and upward, bounded by
+    *max_height*, default one clock region) until every requested site type
+    is available with a fractional *slack* margin (the paper notes slightly
+    over-provisioned pblocks, e.g. extra DSP columns, are a by-product of
+    columnar layout).
+
+    Raises :class:`ValueError` if the device cannot satisfy the request
+    from this anchor.
+    """
+    col0, row0 = anchor
+    if not device.in_bounds(col0, row0):
+        raise ValueError(f"anchor {anchor} outside device")
+    if max_height is None:
+        max_height = device.part.clock_region_rows
+    target = {k: max(1, int(-(-v * slack // 1))) for k, v in need.items() if v > 0}
+    if not target:
+        return PBlock(col0, row0, col0, row0)
+
+    # Components larger than one clock region grow vertically (doubling)
+    # before giving up — mirroring how big VGG blocks span several regions.
+    height = min(max_height, device.nrows - row0)
+    last_have: dict[str, int] = {}
+    while True:
+        have = {site: 0 for site in set(target)}
+        col1 = col0 - 1
+        while col1 + 1 < device.ncols:
+            col1 += 1
+            site = SITE_FOR_TILE.get(device.tile_type(col1))
+            if site in have:
+                have[site] += height
+            if all(have[s] >= target[s] for s in target):
+                return PBlock(col0, row0, col1, row0 + height - 1)
+        last_have = have
+        if height >= device.nrows - row0:
+            break
+        height = min(height * 2, device.nrows - row0)
+    raise ValueError(
+        f"cannot fit {need} in device {device.name} from anchor {anchor} "
+        f"(height {height}); got only {last_have}"
+    )

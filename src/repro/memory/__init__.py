@@ -1,0 +1,5 @@
+"""Off-chip memory allocation (best-fit with coalescing)."""
+
+from .allocator import AllocationError, BestFitAllocator, Block, plan_feature_maps
+
+__all__ = ["AllocationError", "BestFitAllocator", "Block", "plan_feature_maps"]

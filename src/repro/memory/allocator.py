@@ -1,0 +1,192 @@
+"""Off-chip memory allocator: Best-Fit with Coalescing (paper Sec. V-B2).
+
+The VGG architecture stores coefficient data and data-layout
+configuration in off-chip memory.  The paper's allocator divides memory
+into blocks, each managed by a block structure carrying base address,
+state, size and prev/next pointers — a doubly-linked list — and supports
+defragmentation via coalescing.  This module implements exactly that,
+plus a feature-map planner that replays a network's execution order to
+size the off-chip working set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cnn.graph import DFG
+
+__all__ = ["AllocationError", "Block", "BestFitAllocator", "plan_feature_maps"]
+
+
+class AllocationError(RuntimeError):
+    """Raised when a request cannot be satisfied."""
+
+
+@dataclass
+class Block:
+    """One memory block in the doubly-linked list."""
+
+    base: int
+    size: int
+    free: bool
+    prev: "Block | None" = field(default=None, repr=False)
+    next: "Block | None" = field(default=None, repr=False)
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+class BestFitAllocator:
+    """Best-fit allocator over ``capacity`` bytes with coalescing frees."""
+
+    def __init__(self, capacity: int, alignment: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if alignment <= 0 or (alignment & (alignment - 1)):
+            raise ValueError("alignment must be a positive power of two")
+        self.capacity = capacity
+        self.alignment = alignment
+        self.head = Block(base=0, size=capacity, free=True)
+        self._by_base: dict[int, Block] = {0: self.head}
+        self.n_allocs = 0
+        self.n_frees = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def blocks(self) -> list[Block]:
+        out = []
+        cursor: Block | None = self.head
+        while cursor is not None:
+            out.append(cursor)
+            cursor = cursor.next
+        return out
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(b.size for b in self.blocks() if not b.free)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used_bytes
+
+    def largest_free(self) -> int:
+        return max((b.size for b in self.blocks() if b.free), default=0)
+
+    def fragmentation(self) -> float:
+        """1 - largest_free/free_bytes: 0 when free space is contiguous."""
+        free = self.free_bytes
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_free() / free
+
+    def check_invariants(self) -> None:
+        """Validate list coverage, ordering and maximal coalescing."""
+        blocks = self.blocks()
+        if blocks[0].base != 0 or blocks[-1].end != self.capacity:
+            raise AssertionError("blocks do not cover the arena")
+        for a, b in zip(blocks, blocks[1:]):
+            if a.end != b.base:
+                raise AssertionError(f"gap/overlap between {a} and {b}")
+            if b.prev is not a or a.next is not b:
+                raise AssertionError("linked-list pointers corrupt")
+            if a.free and b.free:
+                raise AssertionError("adjacent free blocks not coalesced")
+
+    # -- allocation -----------------------------------------------------------
+
+    def _round(self, size: int) -> int:
+        return (size + self.alignment - 1) & ~(self.alignment - 1)
+
+    def alloc(self, size: int) -> int:
+        """Allocate *size* bytes; returns the base address."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        size = self._round(size)
+        best: Block | None = None
+        cursor: Block | None = self.head
+        while cursor is not None:
+            if cursor.free and cursor.size >= size:
+                if best is None or cursor.size < best.size:
+                    best = cursor
+                    if best.size == size:
+                        break
+            cursor = cursor.next
+        if best is None:
+            raise AllocationError(
+                f"cannot allocate {size} bytes: free={self.free_bytes}, "
+                f"largest contiguous={self.largest_free()}"
+            )
+        if best.size > size:  # split: tail remains free
+            tail = Block(base=best.base + size, size=best.size - size, free=True,
+                         prev=best, next=best.next)
+            if best.next is not None:
+                best.next.prev = tail
+            best.next = tail
+            best.size = size
+            self._by_base[tail.base] = tail
+        best.free = False
+        self.n_allocs += 1
+        return best.base
+
+    def free(self, base: int) -> None:
+        """Free the block at *base*, coalescing with free neighbours."""
+        block = self._by_base.get(base)
+        if block is None or block.free:
+            raise AllocationError(f"invalid free of address {base}")
+        block.free = True
+        self.n_frees += 1
+        # coalesce with next
+        nxt = block.next
+        if nxt is not None and nxt.free:
+            block.size += nxt.size
+            block.next = nxt.next
+            if nxt.next is not None:
+                nxt.next.prev = block
+            del self._by_base[nxt.base]
+        # coalesce with prev
+        prv = block.prev
+        if prv is not None and prv.free:
+            prv.size += block.size
+            prv.next = block.next
+            if block.next is not None:
+                block.next.prev = prv
+            del self._by_base[block.base]
+
+
+def plan_feature_maps(
+    dfg: DFG, capacity: int, *, bytes_per_value: int = 2
+) -> dict[str, int]:
+    """Replay *dfg* through a :class:`BestFitAllocator`, allocating each
+    layer's output feature map and freeing inputs once consumed.
+
+    Returns summary statistics: peak usage, final fragmentation, and the
+    total traffic (bytes written).  ``bytes_per_value=2`` matches the
+    fixed-16 datapath.
+    """
+    allocator = BestFitAllocator(capacity)
+    order = dfg.topo_order()
+    remaining_uses = {n: len(dfg.adj[n]) for n in order}
+    addr: dict[str, int] = {}
+    peak = 0
+    traffic = 0
+    for name in order:
+        node = dfg.nodes[name]
+        size = bytes_per_value
+        for dim in node.out_shape:
+            size *= dim
+        addr[name] = allocator.alloc(size)
+        traffic += size
+        peak = max(peak, allocator.used_bytes)
+        for pred in dfg.radj[name]:
+            remaining_uses[pred] -= 1
+            if remaining_uses[pred] == 0:
+                allocator.free(addr.pop(pred))
+    allocator.check_invariants()
+    return {
+        "peak_bytes": peak,
+        "traffic_bytes": traffic,
+        "final_fragmentation": allocator.fragmentation(),
+        "allocs": allocator.n_allocs,
+        "frees": allocator.n_frees,
+    }

@@ -1,0 +1,234 @@
+"""The Design container: a logical + physical netlist.
+
+A design holds cells, nets and boundary ports, plus optional physical
+state (placements, routes, a pblock constraint).  It is the unit the flows
+pass around — the Python analogue of a Vivado design checkpoint held in
+memory by RapidWright.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..fabric.device import Device, SITE_FOR_TILE, TILE_FOR_CELL
+from ..fabric.pblock import PBlock
+from .cell import Cell
+from .net import Net, Port
+
+__all__ = ["Design", "DesignError"]
+
+
+class DesignError(ValueError):
+    """Raised when a design violates a structural invariant."""
+
+
+class Design:
+    """Mutable logical/physical netlist.
+
+    Attributes
+    ----------
+    name:
+        Design name.
+    cells / nets / ports:
+        Name-keyed containers.
+    pblock:
+        Optional :class:`PBlock` every placement must respect.
+    metadata:
+        Free-form dict; flows record achieved Fmax, component parameters,
+        lock state, etc.
+    """
+
+    def __init__(self, name: str, pblock: PBlock | None = None) -> None:
+        self.name = name
+        self.cells: dict[str, Cell] = {}
+        self.nets: dict[str, Net] = {}
+        self.ports: dict[str, Port] = {}
+        self.pblock = pblock
+        self.metadata: dict = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_cell(self, cell: Cell) -> Cell:
+        if cell.name in self.cells:
+            raise DesignError(f"duplicate cell {cell.name!r} in design {self.name}")
+        self.cells[cell.name] = cell
+        return cell
+
+    def new_cell(self, name: str, ctype: str, **kwargs) -> Cell:
+        return self.add_cell(Cell(name, ctype, **kwargs))
+
+    def add_net(self, net: Net) -> Net:
+        if net.name in self.nets:
+            raise DesignError(f"duplicate net {net.name!r} in design {self.name}")
+        self.nets[net.name] = net
+        return net
+
+    def connect(self, name: str, driver: str | None, sinks: list[str], **kwargs) -> Net:
+        """Create and register a net in one call."""
+        return self.add_net(Net(name, driver, sinks, **kwargs))
+
+    def add_port(self, port: Port) -> Port:
+        if port.name in self.ports:
+            raise DesignError(f"duplicate port {port.name!r} in design {self.name}")
+        if port.net not in self.nets:
+            raise DesignError(f"port {port.name!r} references unknown net {port.net!r}")
+        self.ports[port.name] = port
+        return port
+
+    # -- queries -----------------------------------------------------------
+
+    def cells_of_type(self, ctype: str) -> list[Cell]:
+        return [c for c in self.cells.values() if c.ctype == ctype]
+
+    def cell_type_counts(self) -> Counter:
+        return Counter(c.ctype for c in self.cells.values())
+
+    def resource_usage(self) -> dict[str, int]:
+        """Total resources consumed by all cells (Table II accounting)."""
+        usage: Counter = Counter()
+        for cell in self.cells.values():
+            usage.update(cell.resources())
+        return dict(usage)
+
+    def site_demand(self) -> dict[str, int]:
+        """Site counts needed to place the design (pblock sizing)."""
+        return {ctype: count for ctype, count in self.cell_type_counts().items()}
+
+    def data_nets(self) -> list[Net]:
+        return [n for n in self.nets.values() if not n.is_clock]
+
+    def unrouted_nets(self) -> list[Net]:
+        """Data nets still needing fabric routing.
+
+        Nets without a cell driver are boundary nets fed by a top-level
+        port (off-chip I/O) — they route through pads, not fabric wires,
+        and are excluded here.
+        """
+        return [
+            n
+            for n in self.data_nets()
+            if n.sinks and n.driver is not None and not n.is_routed
+        ]
+
+    @property
+    def is_fully_placed(self) -> bool:
+        return all(c.is_placed for c in self.cells.values())
+
+    @property
+    def is_fully_routed(self) -> bool:
+        return not self.unrouted_nets()
+
+    def modules(self) -> list[str]:
+        """Names of module instances present (pre-implemented designs)."""
+        seen: list[str] = []
+        for cell in self.cells.values():
+            if cell.module and cell.module not in seen:
+                seen.append(cell.module)
+        return seen
+
+    def bounding_box(self) -> PBlock | None:
+        """Smallest pblock covering all placed cells, or None if unplaced."""
+        placed = [c.placement for c in self.cells.values() if c.is_placed]
+        if not placed:
+            return None
+        cols = [p[0] for p in placed]
+        rows = [p[1] for p in placed]
+        return PBlock(min(cols), min(rows), max(cols), max(rows))
+
+    # -- mutation helpers ----------------------------------------------------
+
+    def lock_all(self) -> None:
+        """Lock placement and routing of everything currently implemented."""
+        for cell in self.cells.values():
+            cell.locked = True
+        for net in self.nets.values():
+            if net.is_routed:
+                net.locked = True
+
+    def clear_placement(self, include_locked: bool = False) -> None:
+        for cell in self.cells.values():
+            if include_locked or not cell.locked:
+                cell.placement = None
+
+    def instantiate(self, sub: "Design", prefix: str, module: str | None = None) -> dict[str, str]:
+        """Copy *sub*'s cells and nets into this design with *prefix*.
+
+        Returns a mapping from the sub-design's port names to the
+        corresponding net names in this design.  Cell ``module`` tags are
+        set to *module* (default: *prefix*), which is how stitched designs
+        remember component membership.
+        """
+        module = module or prefix
+        rename = lambda n: f"{prefix}/{n}" if n is not None else None
+        for cell in sub.cells.values():
+            self.add_cell(cell.clone(name=rename(cell.name), module=module))
+        for net in sub.nets.values():
+            self.add_net(net.clone(name=rename(net.name), rename=rename))
+        return {pname: rename(port.net) for pname, port in sub.ports.items()}
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self, device: Device | None = None) -> None:
+        """Check structural invariants; raise :class:`DesignError` on failure.
+
+        * Net endpoints reference existing cells.
+        * Input-port nets have no cell driver; all other nets do.
+        * With *device*: placements in bounds, on matching tile types,
+          inside the pblock when set, one cell per site.
+        """
+        input_nets = {p.net for p in self.ports.values() if p.direction == "in"}
+        for net in self.nets.values():
+            if net.driver is None:
+                if net.name not in input_nets and not net.is_clock:
+                    raise DesignError(f"net {net.name} has no driver and no input port")
+            elif net.driver not in self.cells:
+                raise DesignError(f"net {net.name} driven by unknown cell {net.driver!r}")
+            for sink in net.sinks:
+                if sink not in self.cells:
+                    raise DesignError(f"net {net.name} sinks unknown cell {sink!r}")
+        for port in self.ports.values():
+            if port.net not in self.nets:
+                raise DesignError(f"port {port.name} references unknown net {port.net!r}")
+
+        if device is None:
+            return
+        occupied: dict[tuple[int, int], str] = {}
+        for cell in self.cells.values():
+            if not cell.is_placed:
+                continue
+            col, row = cell.placement
+            if not device.in_bounds(col, row):
+                raise DesignError(f"cell {cell.name} placed out of bounds at {cell.placement}")
+            want_tile = TILE_FOR_CELL[cell.ctype]
+            if device.tile_type(col) != want_tile:
+                raise DesignError(
+                    f"cell {cell.name} ({cell.ctype}) on wrong tile type "
+                    f"{device.tile_type_name(col)} at {cell.placement}"
+                )
+            if self.pblock is not None and not self.pblock.contains(col, row):
+                raise DesignError(f"cell {cell.name} at {cell.placement} escapes {self.pblock}")
+            if (col, row) in occupied:
+                raise DesignError(
+                    f"site ({col},{row}) double-booked by {occupied[(col, row)]} and {cell.name}"
+                )
+            occupied[(col, row)] = cell.name
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        usage = self.resource_usage()
+        return {
+            "name": self.name,
+            "cells": len(self.cells),
+            "nets": len(self.nets),
+            "ports": len(self.ports),
+            "placed": sum(1 for c in self.cells.values() if c.is_placed),
+            "routed_nets": sum(1 for n in self.data_nets() if n.is_routed),
+            "usage": usage,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Design {self.name}: {len(self.cells)} cells, "
+            f"{len(self.nets)} nets, {len(self.ports)} ports>"
+        )

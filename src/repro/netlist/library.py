@@ -1,0 +1,103 @@
+"""Primitive cell library.
+
+Netlists are modeled at *cluster* granularity: one ``SLICE`` cell stands
+for a CLB slice (up to 8 LUTs + 16 FFs), one ``DSP48E2`` cell for a DSP
+slice, one ``RAMB36`` cell for a 36 Kb block RAM.  This keeps full-network
+designs (VGG-16 uses ~35k slices) tractable while preserving the resource
+accounting, placement, routing and timing behaviour the paper's flow
+exercises.
+
+Each cell type carries a base logic delay; a per-cell ``comb_depth``
+attribute scales it (deep adder trees or wide multiplexers inside a
+cluster take longer, which is how the per-layer Fmax differences of
+Table III arise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CellTypeSpec", "CELL_LIBRARY", "cell_type"]
+
+
+@dataclass(frozen=True)
+class CellTypeSpec:
+    """Static description of a primitive (cluster-level) cell type.
+
+    Attributes
+    ----------
+    name:
+        Library name; must match a site type from
+        :data:`repro.fabric.device.SITE_FOR_TILE`.
+    max_resources:
+        Capacity of the underlying site, e.g. LUTs/FFs in a slice.
+    base_delay_ps:
+        Clock-to-out + one level of logic, in picoseconds, at
+        ``comb_depth == 1``.
+    depth_delay_ps:
+        Additional delay per extra level of logic packed in the cluster.
+    setup_ps:
+        Setup time at a sequential input.
+    sequential:
+        Whether outputs are registered by default (cells can override via
+        the ``seq`` attribute).
+    dyn_power_nw_mhz:
+        Dynamic power per MHz of clock at full toggle, in nanowatts
+        (drives the power estimator).
+    """
+
+    name: str
+    max_resources: dict[str, int] = field(default_factory=dict)
+    base_delay_ps: float = 300.0
+    depth_delay_ps: float = 150.0
+    setup_ps: float = 60.0
+    sequential: bool = True
+    dyn_power_nw_mhz: float = 2.0
+
+
+CELL_LIBRARY: dict[str, CellTypeSpec] = {
+    spec.name: spec
+    for spec in (
+        CellTypeSpec(
+            name="SLICE",
+            max_resources={"LUT": 8, "FF": 16},
+            base_delay_ps=700.0,
+            depth_delay_ps=240.0,
+            setup_ps=60.0,
+            dyn_power_nw_mhz=2.2,
+        ),
+        CellTypeSpec(
+            name="DSP48E2",
+            max_resources={"DSP48E2": 1},
+            base_delay_ps=900.0,
+            depth_delay_ps=250.0,
+            setup_ps=80.0,
+            dyn_power_nw_mhz=9.5,
+        ),
+        CellTypeSpec(
+            name="RAMB36",
+            max_resources={"RAMB36": 1, "BRAM_KB": 36},
+            base_delay_ps=950.0,
+            depth_delay_ps=150.0,
+            setup_ps=90.0,
+            dyn_power_nw_mhz=7.0,
+        ),
+        CellTypeSpec(
+            name="URAM288",
+            max_resources={"URAM288": 1},
+            base_delay_ps=1050.0,
+            depth_delay_ps=150.0,
+            setup_ps=90.0,
+            dyn_power_nw_mhz=11.0,
+        ),
+    )
+}
+
+
+def cell_type(name: str) -> CellTypeSpec:
+    """Look up a cell type, raising a helpful error when unknown."""
+    try:
+        return CELL_LIBRARY[name]
+    except KeyError:
+        known = ", ".join(sorted(CELL_LIBRARY))
+        raise KeyError(f"unknown cell type {name!r}; known: {known}") from None

@@ -1,0 +1,72 @@
+"""Netlist stitching primitives shared by the block generator, the flat
+network synthesizer, and the RapidWright-style architecture composer.
+
+``bridge_ports`` implements the paper's "create nets to connect the two
+ports" step (Algorithm 1, lines 15-17): it splices a new top-level net
+from the internal driver behind one component's output port to the
+internal sinks behind the next component's input port, then removes the
+now-dangling boundary nets.
+"""
+
+from __future__ import annotations
+
+from .design import Design, DesignError
+from .net import Net, Port
+
+__all__ = ["bridge_ports", "merge_clock_nets", "expose_port"]
+
+
+def bridge_ports(
+    top: Design, out_net_name: str, in_net_name: str, *, hint: str = "stitch"
+) -> Net:
+    """Connect an instantiated output-port net to an input-port net.
+
+    Both arguments name nets inside *top* (as returned by
+    :meth:`Design.instantiate` port maps).  Returns the new net.
+    """
+    try:
+        out_net = top.nets[out_net_name]
+        in_net = top.nets[in_net_name]
+    except KeyError as exc:
+        raise DesignError(f"stitch: unknown boundary net {exc.args[0]!r}") from None
+    if out_net.driver is None:
+        raise DesignError(f"stitch: output boundary net {out_net_name} has no driver")
+    if out_net.sinks:
+        raise DesignError(f"stitch: output boundary net {out_net_name} already has sinks")
+    name = f"{hint}__{out_net_name.replace('/', '.')}"
+    width = max(out_net.width, in_net.width)
+    net = top.connect(name, out_net.driver, list(in_net.sinks), width=width)
+    del top.nets[out_net_name]
+    del top.nets[in_net_name]
+    return net
+
+
+def expose_port(
+    top: Design, port_name: str, inner_net_name: str, direction: str, *, width: int = 16,
+    protocol: str = "stream",
+) -> Port:
+    """Promote an instantiated component boundary net to a top-level port."""
+    if inner_net_name not in top.nets:
+        raise DesignError(f"expose_port: unknown net {inner_net_name!r}")
+    net = top.nets[inner_net_name]
+    return top.add_port(
+        Port(port_name, direction, net.name, width=max(width, net.width), protocol=protocol)
+    )
+
+
+def merge_clock_nets(top: Design, name: str = "clk") -> Port:
+    """Replace per-component clock nets with one global clock net + port.
+
+    Real flows route one global clock through the dedicated network; the
+    per-component HD.CLK_SRC stubs exist only for OOC timing analysis.
+    """
+    for net_name in [n.name for n in top.nets.values() if n.is_clock]:
+        del top.nets[net_name]
+    for port_name in [p.name for p in top.ports.values() if p.name.endswith(name)]:
+        # stale clock ports from instantiated components
+        if top.ports[port_name].net not in top.nets:
+            del top.ports[port_name]
+    sinks = [c.name for c in top.cells.values() if c.seq]
+    net = Net(f"{name}_net", None, sinks, is_clock=True)
+    top.add_net(net)
+    return top.add_port(Port(name, "in", net.name, width=1))

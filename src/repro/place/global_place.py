@@ -1,0 +1,85 @@
+"""Force-directed global placement.
+
+Star-model iterations over a sparse net-cell incidence matrix: every net
+pulls its pins toward the net center (including fixed pins of locked
+cells), while periodic quantile spreading keeps density bounded.  This
+is the analytic "global" stage real tools run before legalization and
+detailed refinement; it is fully vectorized (scipy.sparse) so designs
+with tens of thousands of cells place in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from .problem import PlacementProblem
+
+__all__ = ["global_place"]
+
+
+def _build_matrices(problem: PlacementProblem):
+    rows, cols, weights = [], [], []
+    fixed_sum = np.zeros((len(problem.nets), 2), dtype=np.float64)
+    pin_count = np.zeros(len(problem.nets), dtype=np.float64)
+    for n, net in enumerate(problem.nets):
+        for idx in net.movable:
+            rows.append(n)
+            cols.append(int(idx))
+            weights.append(net.weight)
+        if net.fixed.size:
+            fixed_sum[n] = net.fixed.sum(axis=0)
+        pin_count[n] = len(net.movable) + net.fixed.shape[0]
+    shape = (len(problem.nets), problem.n_movable)
+    w = sparse.csr_matrix((weights, (rows, cols)), shape=shape)
+    binary = sparse.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=shape)
+    return binary, w, fixed_sum, pin_count
+
+
+def _spread(pos: np.ndarray, bounds: tuple[float, float, float, float]) -> np.ndarray:
+    """Quantile-spread each coordinate to uniform density over the region."""
+    c0, r0, c1, r1 = bounds
+    out = pos.copy()
+    n = pos.shape[0]
+    if n < 2:
+        return out
+    for axis, (lo, hi) in enumerate(((c0, c1), (r0, r1))):
+        order = np.argsort(pos[:, axis], kind="stable")
+        targets = np.linspace(lo, hi, n)
+        out[order, axis] = targets
+    return out
+
+
+def global_place(
+    problem: PlacementProblem,
+    rng: np.random.Generator,
+    iters: int = 30,
+    pull: float = 0.7,
+    spread_every: int = 5,
+    spread_blend: float = 0.25,
+) -> np.ndarray:
+    """Return float positions (n, 2) for the movable cells."""
+    n = problem.n_movable
+    bounds = problem.bounds()
+    pos = problem.initial_positions(rng)
+    if n == 0 or not problem.nets:
+        return pos
+
+    binary, weighted, fixed_sum, pin_count = _build_matrices(problem)
+    cell_weight = np.asarray(weighted.sum(axis=0)).ravel()
+    cell_weight[cell_weight == 0] = 1.0
+
+    for it in range(iters):
+        centers = (binary @ pos + fixed_sum) / pin_count[:, None]
+        target = (weighted.T @ centers) / cell_weight[:, None]
+        # cells on no nets keep their position
+        lonely = np.asarray(binary.sum(axis=0)).ravel() == 0
+        target[lonely] = pos[lonely]
+        pos = pull * target + (1.0 - pull) * pos
+        if spread_every and (it + 1) % spread_every == 0 and it + 1 < iters:
+            pos = (1.0 - spread_blend) * pos + spread_blend * _spread(pos, bounds)
+
+    c0, r0, c1, r1 = bounds
+    pos[:, 0] = np.clip(pos[:, 0], c0, c1)
+    pos[:, 1] = np.clip(pos[:, 1], r0, r1)
+    return pos

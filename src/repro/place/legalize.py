@@ -1,0 +1,80 @@
+"""Legalization: snap float positions onto legal, unoccupied sites.
+
+Tetris-style column assignment: cells are processed in x order; each
+takes the nearest column (of its resource type) with free capacity, then
+the nearest free row within that column.  This respects the columnar
+fabric — a DSP cell can only land in a DSP column — and preserves the
+global placement's locality.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+
+import numpy as np
+
+from .problem import PlacementProblem
+
+__all__ = ["legalize"]
+
+
+class _ColumnPool:
+    """Free sites of one resource type, organised per column."""
+
+    def __init__(self, sites: np.ndarray) -> None:
+        self.rows: dict[int, list[int]] = {}
+        for col, row in sites:
+            self.rows.setdefault(int(col), []).append(int(row))
+        for rows in self.rows.values():
+            rows.sort()
+        self.cols: list[int] = sorted(self.rows)
+
+    def take_nearest(self, x: float, y: float) -> tuple[int, int]:
+        if not self.cols:
+            raise RuntimeError("column pool exhausted")
+        idx = bisect_left(self.cols, x)
+        # examine the two candidate columns bracketing x, expanding outward
+        best_col = None
+        for probe in self._bracket(idx):
+            col = self.cols[probe]
+            if best_col is None or abs(col - x) < abs(best_col - x):
+                best_col = col
+        rows = self.rows[best_col]
+        ridx = min(bisect_left(rows, y), len(rows) - 1)
+        # nearest free row around the insertion point
+        cand = [ridx]
+        if ridx > 0:
+            cand.append(ridx - 1)
+        best_r = min(cand, key=lambda i: abs(rows[i] - y))
+        row = rows.pop(best_r)
+        if not rows:
+            del self.rows[best_col]
+            self.cols.remove(best_col)
+        return best_col, row
+
+    def _bracket(self, idx: int) -> list[int]:
+        out = []
+        if idx < len(self.cols):
+            out.append(idx)
+        if idx > 0:
+            out.append(idx - 1)
+        return out
+
+
+def legalize(problem: PlacementProblem, pos: np.ndarray) -> np.ndarray:
+    """Assign every movable cell a distinct legal site near its position.
+
+    Returns integer sites of shape ``(n_movable, 2)``.
+    """
+    n = problem.n_movable
+    sites = np.empty((n, 2), dtype=np.int64)
+    ctypes = np.asarray(problem.ctypes)
+    for ctype in dict.fromkeys(problem.ctypes):
+        members = np.flatnonzero(ctypes == ctype)
+        pool = _ColumnPool(problem.site_pools[ctype])
+        # x-sorted sweep keeps horizontal order, limiting displacement
+        order = members[np.argsort(pos[members, 0], kind="stable")]
+        for i in order:
+            col, row = pool.take_nearest(pos[i, 0], pos[i, 1])
+            sites[i] = (col, row)
+    return sites

@@ -1,0 +1,5 @@
+"""Power estimation."""
+
+from .model import PowerReport, estimate_power
+
+__all__ = ["PowerReport", "estimate_power"]

@@ -1,0 +1,155 @@
+"""Checkpoint database for pre-built components.
+
+The function-optimization phase runs "exactly once" (paper Sec. IV): each
+unique component signature is pre-implemented OOC and its checkpoint
+saved.  Later architecture-optimization runs fetch fresh copies by
+signature — the productivity win comes precisely from these hits.
+
+The database can live purely in memory or persist to a directory of
+``.dcpz`` checkpoints for reuse across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .._util import StageTimer
+from ..cnn.graph import Component
+from ..fabric.device import Device
+from ..netlist.checkpoint import design_from_dict, design_to_dict, load_checkpoint, save_checkpoint
+from ..netlist.design import Design
+from ..synth.generator import generate_component
+from .ooc import OOCResult, preimplement
+
+__all__ = ["ComponentDatabase", "signature_key"]
+
+
+def signature_key(signature: tuple) -> str:
+    """Stable short key for a component signature (checkpoint filename)."""
+    return hashlib.sha1(repr(signature).encode()).hexdigest()[:16]
+
+
+@dataclass
+class _Record:
+    signature: tuple
+    payload: dict            # serialized locked design
+    fmax_mhz: float
+    hits: int = 0
+
+
+@dataclass
+class ComponentDatabase:
+    """Signature-keyed store of pre-implemented component checkpoints."""
+
+    device: Device
+    directory: Path | None = None
+    records: dict[str, _Record] = field(default_factory=dict)
+
+    # -- store/fetch ------------------------------------------------------
+
+    def put(self, signature: tuple, design: Design, fmax_mhz: float | None = None) -> str:
+        key = signature_key(signature)
+        if fmax_mhz is None:
+            fmax_mhz = design.metadata.get("ooc", {}).get("fmax_mhz", 0.0)
+        self.records[key] = _Record(
+            signature=signature, payload=design_to_dict(design), fmax_mhz=fmax_mhz
+        )
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            save_checkpoint(design, self.directory / f"{key}.dcpz")
+        return key
+
+    def has(self, signature: tuple) -> bool:
+        return signature_key(signature) in self.records
+
+    def get(self, signature: tuple) -> Design:
+        """Fresh deep copy of the checkpoint for *signature*."""
+        key = signature_key(signature)
+        try:
+            record = self.records[key]
+        except KeyError:
+            raise KeyError(f"no checkpoint for signature {signature!r}") from None
+        record.hits += 1
+        return design_from_dict(record.payload)
+
+    def fmax_of(self, signature: tuple) -> float:
+        return self.records[signature_key(signature)].fmax_mhz
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_hits(self) -> int:
+        return sum(r.hits for r in self.records.values())
+
+    # -- building (function optimization, offline) ----------------------------
+
+    def build(
+        self,
+        components: list[Component],
+        *,
+        rom_weights: bool = True,
+        effort: str = "high",
+        seed: int = 0,
+        plan_ports: bool = True,
+        explore: dict | None = None,
+    ) -> StageTimer:
+        """Pre-implement every unique component signature not yet stored.
+
+        Returns the offline timer (this cost is paid once and amortized
+        over every accelerator built from the database, so productivity
+        accounting keeps it separate — as the paper does).
+
+        With *explore*, each component runs through the performance
+        exploration of :func:`repro.rapidwright.explore.explore_component`
+        (keyword arguments are forwarded, e.g. ``{"seeds": (0, 1, 2)}``)
+        and the best trial is stored.
+        """
+        timer = StageTimer()
+        for comp in components:
+            if self.has(comp.signature):
+                continue
+            with timer.stage(f"build:{comp.kind}"):
+                if explore:
+                    from .explore import explore_component
+
+                    res = explore_component(
+                        lambda c=comp: generate_component(c, rom_weights=rom_weights),
+                        self.device,
+                        plan_ports=plan_ports,
+                        **explore,
+                    )
+                    self.put(comp.signature, res.best.design, res.best.fmax_mhz)
+                else:
+                    design = generate_component(comp, rom_weights=rom_weights)
+                    result: OOCResult = preimplement(
+                        design,
+                        self.device,
+                        effort=effort,
+                        seed=seed,
+                        plan_ports=plan_ports,
+                    )
+                    self.put(comp.signature, result.design, result.fmax_mhz)
+        return timer
+
+    # -- persistence -------------------------------------------------------
+
+    def load_directory(self) -> int:
+        """Load all persisted checkpoints from :attr:`directory`."""
+        if self.directory is None or not self.directory.exists():
+            return 0
+        loaded = 0
+        for path in sorted(self.directory.glob("*.dcpz")):
+            design = load_checkpoint(path)
+            sig_repr = design.metadata.get("component", {}).get("signature")
+            signature = (sig_repr,) if sig_repr else (path.stem,)
+            key = path.stem
+            self.records[key] = _Record(
+                signature=signature,
+                payload=design_to_dict(design),
+                fmax_mhz=design.metadata.get("ooc", {}).get("fmax_mhz", 0.0),
+            )
+            loaded += 1
+        return loaded

@@ -1,0 +1,153 @@
+"""Performance exploration / automated floorplanning (paper Fig. 3).
+
+The paper's function-optimization box is a *design-space exploration*
+("Iteration to meet the constraints"), and its conclusion names two
+future-work items: "an optimized and automated floor planning" and
+"optimization approaches to improve the performance of components during
+the function optimization stage".  This module implements both:
+
+:func:`explore_component` sweeps placement seeds, effort presets,
+floorplan slack, and pblock aspect (height) for one component, keeping
+the best implementation by a configurable objective (Fmax by default,
+optionally trading off relocatability), with early exit once a target
+frequency is met.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from .._util import StageTimer
+from ..fabric.device import Device
+from ..netlist.design import Design
+from .module import candidate_anchors
+from .ooc import OOCResult, preimplement
+
+__all__ = ["ExploreTrial", "ExploreResult", "explore_component"]
+
+
+@dataclass(frozen=True)
+class ExploreTrial:
+    """One point of the exploration."""
+
+    seed: int
+    effort: str
+    slack: float
+    max_height: int | None
+    fmax_mhz: float
+    anchors: int
+    pblock_area: int
+    score: float
+
+
+@dataclass
+class ExploreResult:
+    """Best implementation plus the full trial record."""
+
+    best: OOCResult
+    trials: list[ExploreTrial] = field(default_factory=list)
+    timer: StageTimer = field(default_factory=StageTimer)
+
+    @property
+    def best_trial(self) -> ExploreTrial:
+        return max(self.trials, key=lambda t: t.score)
+
+    def report(self) -> str:
+        lines = ["seed effort slack height   fmax  anchors  area   score"]
+        for t in sorted(self.trials, key=lambda t: -t.score):
+            lines.append(
+                f"{t.seed:4d} {t.effort:>6s} {t.slack:5.2f} "
+                f"{t.max_height if t.max_height else '-':>6} "
+                f"{t.fmax_mhz:6.1f} {t.anchors:8d} {t.pblock_area:5d} {t.score:7.1f}"
+            )
+        return "\n".join(lines)
+
+
+def explore_component(
+    factory: Callable[[], Design],
+    device: Device,
+    *,
+    seeds: Iterable[int] = (0, 1, 2),
+    efforts: Iterable[str] = ("high",),
+    slacks: Iterable[float] = (1.15,),
+    heights: Iterable[int | None] = (None,),
+    plan_ports: bool = True,
+    target_fmax_mhz: float | None = None,
+    anchor_weight: float = 0.0,
+) -> ExploreResult:
+    """Sweep the function-optimization space for one component.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable producing a *fresh* unimplemented design
+        (each trial consumes one).
+    seeds / efforts / slacks / heights:
+        The swept axes: placement seed, effort preset, floorplan slack,
+        and pblock max-height (``None`` = the automatic aspect heuristic).
+    target_fmax_mhz:
+        Early exit once a trial meets this frequency (the paper's
+        "iteration to meet the constraints").
+    anchor_weight:
+        Score = Fmax + ``anchor_weight`` x (#compatible anchors); a
+        positive weight trades a little frequency for reusability
+        (smaller, more relocatable pblocks).
+
+    Returns the best implementation; its design is locked and ready for
+    the checkpoint database.
+    """
+    result: ExploreResult | None = None
+    timer = StageTimer()
+    done = False
+    for slack in slacks:
+        for height in heights:
+            for effort in efforts:
+                for seed in seeds:
+                    with timer.stage("explore/trial"):
+                        design = factory()
+                        kwargs = dict(
+                            effort=effort,
+                            seed=seed,
+                            plan_ports=plan_ports,
+                            slack=slack,
+                        )
+                        ooc = _preimplement_with_height(design, device, height, kwargs)
+                        anchors = len(candidate_anchors(device, design))
+                        trial = ExploreTrial(
+                            seed=seed,
+                            effort=effort,
+                            slack=slack,
+                            max_height=height,
+                            fmax_mhz=ooc.fmax_mhz,
+                            anchors=anchors,
+                            pblock_area=ooc.pblock.area,
+                            score=ooc.fmax_mhz + anchor_weight * anchors,
+                        )
+                    if result is None:
+                        result = ExploreResult(best=ooc, timer=timer)
+                    result.trials.append(trial)
+                    if trial.score > max(
+                        (t.score for t in result.trials[:-1]), default=float("-inf")
+                    ):
+                        result.best = ooc
+                    if target_fmax_mhz is not None and ooc.fmax_mhz >= target_fmax_mhz:
+                        done = True
+                        break
+                if done:
+                    break
+            if done:
+                break
+        if done:
+            break
+    if result is None:
+        raise ValueError("exploration space is empty (check the sweep axes)")
+    result.timer = timer
+    return result
+
+
+def _preimplement_with_height(
+    design: Design, device: Device, height: int | None, kwargs: dict
+) -> OOCResult:
+    """Pre-implement honoring an explicit pblock height override."""
+    return preimplement(design, device, max_height=height, **kwargs)

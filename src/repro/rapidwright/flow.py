@@ -1,0 +1,239 @@
+"""The pre-implemented flow (the paper's contribution).
+
+Two phases (paper Fig. 3):
+
+* **Function optimization** (offline, once): every unique component
+  signature is generated, pre-implemented OOC in a tight pblock with
+  planned ports, locked, and stored in the checkpoint database
+  (:meth:`PreImplementedFlow.build_database`).
+* **Architecture optimization** (per accelerator, automated, timed):
+  component extraction from the CNN architecture definition, component
+  matching against the database, Eq. 1-3 component placement,
+  Algorithm-1 stitching, and final inter-component routing — the only
+  "Vivado" work left, since all intra-component logic and routing is
+  locked.  Optionally a phys-opt pipelining pass closes timing across
+  fabric discontinuities (the VGG case, Sec. V-E).
+"""
+
+from __future__ import annotations
+
+from .._util import StageTimer
+from ..cnn.graph import DFG, group_components
+from ..netlist.design import Design
+from ..fabric.device import Device
+from ..fabric.interconnect import RoutingGraph
+from ..power.model import estimate_power
+from ..route.pathfinder import Router
+from ..timing.delays import DEFAULT_DELAYS, DelayModel
+from ..timing.pipeline import pipeline_to_target
+from ..timing.sta import analyze
+from ..vivado.flow import FlowResult
+from .database import ComponentDatabase
+from .placer import ComponentPlacer
+from .stitcher import compose, compose_shared
+
+__all__ = ["PreImplementedFlow"]
+
+
+class PreImplementedFlow:
+    """End-to-end pre-implemented accelerator generation.
+
+    Parameters
+    ----------
+    device:
+        Target device.
+    component_effort:
+        Placement effort for OOC pre-implementation (high by default —
+        the point of the flow is to over-optimize small components).
+    seed:
+        Seed for all stochastic stages.
+    plan_ports:
+        Strategic port planning during OOC (ablation toggle).
+    halo:
+        Congestion halo (tiles) for the component placer.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        *,
+        component_effort: str = "high",
+        seed: int = 0,
+        plan_ports: bool = True,
+        halo: int = 4,
+        delays: DelayModel = DEFAULT_DELAYS,
+    ) -> None:
+        self.device = device
+        self.component_effort = component_effort
+        self.seed = seed
+        self.plan_ports = plan_ports
+        self.halo = halo
+        self.delays = delays
+        self.graph = RoutingGraph(device)
+
+    # -- phase 1: function optimization (offline) --------------------------
+
+    def build_database(
+        self,
+        dfg: DFG,
+        *,
+        granularity: str = "layer",
+        rom_weights: bool = True,
+        database: ComponentDatabase | None = None,
+    ) -> tuple[ComponentDatabase, StageTimer]:
+        """Pre-implement every unique component of *dfg* into a database."""
+        database = database or ComponentDatabase(self.device)
+        components = group_components(dfg, granularity)
+        timer = database.build(
+            components,
+            rom_weights=rom_weights,
+            effort=self.component_effort,
+            seed=self.seed,
+            plan_ports=self.plan_ports,
+        )
+        return database, timer
+
+    def _scheduler_for(self, components) -> "Design":
+        """Pre-implement the shared-architecture scheduler: a memory
+        management unit sized for the largest inter-pass feature map."""
+        from math import prod
+
+        from ..synth.memctrl import gen_memctrl
+        from .ooc import preimplement
+
+        n_words = max(
+            (prod(c.out_shape) for c in components if len(c.out_shape) > 0),
+            default=1024,
+        )
+        scheduler = gen_memctrl(int(n_words), name="shared_scheduler")
+        preimplement(
+            scheduler, self.device, effort=self.component_effort, seed=self.seed,
+            plan_ports=self.plan_ports,
+        )
+        return scheduler
+
+    # -- phase 2: architecture optimization (timed) -------------------------
+
+    def run(
+        self,
+        dfg: DFG,
+        *,
+        granularity: str = "layer",
+        rom_weights: bool = True,
+        database: ComponentDatabase | None = None,
+        pipeline_target_mhz: float | str | None = None,
+        share_components: bool = False,
+    ) -> FlowResult:
+        """Generate the accelerator for *dfg* from pre-built checkpoints.
+
+        When *database* is ``None`` the function-optimization phase runs
+        first; its cost is reported separately in
+        ``result.extras["offline_s"]`` (the paper pays it once, offline).
+
+        ``pipeline_target_mhz`` enables the phys-opt pipelining pass
+        (paper Sec. V-E): pass a frequency, or ``"auto"`` to target the
+        slowest component's OOC Fmax — the stitched design's natural
+        upper bound.
+
+        ``share_components=True`` builds the Q-CLE-style *shared*
+        architecture (paper Sec. III / Shen et al.): one physical engine
+        per unique signature, time-multiplexed through a pre-implemented
+        scheduler — fewer resources, one pass of latency per logical
+        layer.
+        """
+        offline_s = 0.0
+        if database is None or not len(database):
+            database, offline = self.build_database(
+                dfg, granularity=granularity, rom_weights=rom_weights,
+                database=database,
+            )
+            offline_s = offline.total
+
+        timer = StageTimer()
+        with timer.stage("rw:component_extraction"):
+            components = group_components(dfg, granularity)
+
+        with timer.stage("rw:component_matching"):
+            matched = components
+            if share_components:
+                unique: dict[tuple, object] = {}
+                for c in components:
+                    unique.setdefault(c.signature, c)
+                matched = list(unique.values())
+            items = []
+            for comp in matched:
+                if not database.has(comp.signature):
+                    raise KeyError(
+                        f"component {comp.name} ({comp.kind}) missing from database"
+                    )
+                items.append((comp.name, database.get(comp.signature)))
+            scheduler = None
+            if share_components:
+                scheduler = self._scheduler_for(components)
+                items.append(("scheduler", scheduler))
+
+        with timer.stage("rw:component_placement"):
+            placer = ComponentPlacer(self.device, halo=self.halo)
+            if share_components:
+                # star topology: every engine talks to the scheduler
+                hub = len(items) - 1
+                connections = [(i, hub) for i in range(hub)]
+            else:
+                connections = [(i - 1, i) for i in range(1, len(items))]
+            placement = placer.place(items, connections)
+
+        with timer.stage("rw:composition"):
+            if share_components:
+                stitch = compose_shared(
+                    f"{dfg.name}_{granularity}_shared",
+                    components,
+                    database,
+                    self.device,
+                    placement.anchors,
+                    scheduler,
+                )
+            else:
+                stitch = compose(
+                    f"{dfg.name}_{granularity}_preimpl",
+                    components,
+                    database,
+                    self.device,
+                    placement.anchors,
+                )
+            top = stitch.top
+
+        with timer.stage("vivado:inter_route"):
+            route = Router(self.device, self.graph, seed=self.seed).route(top, timer=timer)
+
+        extras: dict = {
+            "offline_s": offline_s,
+            "stitch": stitch,
+            "placement": placement,
+            "database": database,
+        }
+        if pipeline_target_mhz == "auto":
+            pipeline_target_mhz = stitch.slowest_component_mhz * 0.98
+        if pipeline_target_mhz is not None:
+            with timer.stage("phys_opt:pipeline"):
+                target_ps = 1e6 / pipeline_target_mhz - self.delays.clock_overhead_ps
+                pipe = pipeline_to_target(
+                    top, self.device, target_ps, graph=self.graph, delays=self.delays
+                )
+                extras["pipeline"] = pipe
+            with timer.stage("vivado:reroute"):
+                route = Router(self.device, self.graph, seed=self.seed).route(top)
+
+        with timer.stage("timing"):
+            timing = analyze(top, self.device, self.graph, self.delays)
+        with timer.stage("power"):
+            power = estimate_power(top, self.device, timing.fmax_mhz, self.graph)
+
+        top.metadata["fmax_mhz"] = timing.fmax_mhz
+        return FlowResult(
+            design=top,
+            timer=timer,
+            timing=timing,
+            power=power,
+            route=route,
+            extras=extras,
+        )

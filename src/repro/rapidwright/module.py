@@ -1,0 +1,146 @@
+"""Module relocation.
+
+A pre-implemented component can be replicated anywhere its column
+footprint repeats: UltraScale resources are laid out in full-height
+columns, so a placement (and its locked routes) is valid at any anchor
+whose run of column types equals the original pblock's column signature
+(paper Sec. IV-A2: smaller pblocks -> more relocation anchors -> more
+reusable components).
+
+Relocation is a pure coordinate transform: cell placements, the pblock,
+partition-pin tiles and routed node ids all shift by
+``(dcol, drow)``; node ids shift by ``dcol * nrows + drow``.
+"""
+
+from __future__ import annotations
+
+from ..fabric.device import Device
+from ..fabric.pblock import PBlock
+from ..netlist.checkpoint import design_from_dict, design_to_dict
+from ..netlist.design import Design, DesignError
+
+__all__ = ["candidate_anchors", "relocate", "used_column_offsets", "RelocationError"]
+
+
+class RelocationError(DesignError):
+    """Raised when a module cannot legally move to the requested anchor."""
+
+
+def _footprint_signature(design: Design, device: Device) -> tuple[int, ...]:
+    """Column signature of the module footprint.
+
+    The signature recorded at OOC time (source device) is preferred; it
+    stays valid even when probing anchors on a *different* device, where
+    the original pblock columns may be out of range.
+    """
+    recorded = design.metadata.get("ooc", {}).get("column_signature")
+    if recorded:
+        return tuple(int(c) for c in recorded)
+    return design.pblock.column_signature(device)
+
+
+def used_column_offsets(design: Design) -> dict[int, int]:
+    """Relative column offset -> tile-type code actually used by cells."""
+    from ..fabric.device import TILE_FOR_CELL
+
+    pblock = design.pblock
+    if pblock is None:
+        raise RelocationError(f"design {design.name} has no pblock footprint")
+    used: dict[int, int] = {}
+    for cell in design.cells.values():
+        if cell.is_placed:
+            used[cell.placement[0] - pblock.col0] = TILE_FOR_CELL[cell.ctype]
+    return used
+
+
+def candidate_anchors(
+    device: Device, design: Design, *, row_step: int | None = None, strict: bool = False
+) -> list[tuple[int, int]]:
+    """All ``(col, row)`` anchors where *design*'s footprint is legal.
+
+    By default only the columns *used* by placed cells must type-match at
+    the destination — sufficient on this fabric model, whose interconnect
+    is uniform away from I/O columns.  ``strict=True`` additionally
+    requires the full column signature to repeat (the conservative rule
+    real UltraScale relocation follows).  Rows may shift freely
+    (``row_step`` thins the candidates, default half the pblock height).
+    """
+    import numpy as np
+
+    pblock = design.pblock
+    if pblock is None:
+        raise RelocationError(f"design {design.name} has no pblock footprint")
+    height = pblock.height
+    if height > device.nrows or pblock.width > device.ncols:
+        return []
+    if strict:
+        signature = _footprint_signature(design, device)
+        cols = device.matching_column_anchors(signature)
+    else:
+        used = used_column_offsets(design)
+        n_anchor = device.ncols - pblock.width + 1
+        ok = np.ones(n_anchor, dtype=bool)
+        for off, tile in used.items():
+            ok &= device.col_types[off : off + n_anchor] == tile
+        cols = [int(c) for c in np.flatnonzero(ok)]
+    if row_step is None:
+        row_step = max(1, height // 2)
+    rows = list(range(0, device.nrows - height + 1, row_step))
+    last = device.nrows - height
+    if last >= 0 and last not in rows:
+        rows.append(last)
+    return [(c, r) for c in cols for r in rows]
+
+
+def relocate(
+    design: Design, device: Device, anchor: tuple[int, int], *, validate: bool = True
+) -> Design:
+    """Return a deep copy of *design* moved so its pblock origin is *anchor*.
+
+    Raises :class:`RelocationError` when the destination columns do not
+    match the footprint or the move leaves the device.
+    """
+    pblock = design.pblock
+    if pblock is None:
+        raise RelocationError(f"design {design.name} has no pblock footprint")
+    dcol = anchor[0] - pblock.col0
+    drow = anchor[1] - pblock.row0
+    target = pblock.shifted(dcol, drow)
+    if not target.within(device):
+        raise RelocationError(
+            f"relocating {design.name} to {anchor} leaves device {device.name}"
+        )
+    if validate:
+        for off, tile in used_column_offsets(design).items():
+            if device.tile_type(target.col0 + off) != tile:
+                raise RelocationError(
+                    f"column footprint mismatch relocating {design.name} to "
+                    f"{anchor}: offset {off} needs tile type {tile}, found "
+                    f"{device.tile_type(target.col0 + off)}"
+                )
+
+    # Deep copy through the checkpoint codec (exercises the same path a
+    # DCP reload would take), then shift coordinates.
+    copy = design_from_dict(design_to_dict(design))
+    if dcol == 0 and drow == 0:
+        return copy
+    nrows = device.nrows
+    node_shift = dcol * nrows + drow
+    for cell in copy.cells.values():
+        if cell.is_placed:
+            cell.placement = (cell.placement[0] + dcol, cell.placement[1] + drow)
+    for net in copy.nets.values():
+        net.routes = [
+            [node + node_shift for node in path] if path is not None else None
+            for path in net.routes
+        ]
+    for port in copy.ports.values():
+        if port.tile is not None:
+            port.tile = (port.tile[0] + dcol, port.tile[1] + drow)
+    copy.pblock = target
+    if "clk_src" in copy.metadata:
+        c, r = copy.metadata["clk_src"]
+        copy.metadata["clk_src"] = (c + dcol, r + drow)
+    if "ooc" in copy.metadata:
+        copy.metadata["ooc"]["pblock"] = [target.col0, target.row0, target.col1, target.row1]
+    return copy

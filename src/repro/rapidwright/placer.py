@@ -1,0 +1,267 @@
+"""Timing- and congestion-driven component placement (paper Sec. IV-B4).
+
+Chooses a relocation anchor for every component instance.  Following the
+paper's Eq. 1-3:
+
+* the **timing cost** of a candidate is the half-perimeter wirelength of
+  the inter-component connections it closes (Eq. 1), measured between
+  partition-pin tiles;
+* the **congestion cost** counts component overlaps per tile (Eq. 2-3) —
+  pblocks must be strictly disjoint, and a *halo* around each pblock
+  penalises crowding that would starve the inter-component router;
+* a candidate is accepted when both costs are below threshold, otherwise
+  the search backtracks, unplacing earlier components and trying their
+  next-best anchors (bounded attempts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..fabric.device import Device
+from ..fabric.pblock import PBlock
+from ..netlist.design import Design, DesignError
+from .module import candidate_anchors
+
+__all__ = ["ComponentPlacer", "ComponentPlacement", "PlacementInfeasible"]
+
+
+class PlacementInfeasible(DesignError):
+    """Raised when no disjoint anchor assignment could be found."""
+
+
+@dataclass
+class ComponentPlacement:
+    """Chosen anchors and cost bookkeeping."""
+
+    anchors: dict[str, tuple[int, int]] = field(default_factory=dict)
+    pblocks: dict[str, PBlock] = field(default_factory=dict)
+    timing_cost: float = 0.0
+    congestion_cost: float = 0.0
+    attempts: int = 0
+    backtracks: int = 0
+
+
+def _halo(p: PBlock, h: int, device: Device) -> PBlock:
+    return PBlock(
+        max(0, p.col0 - h),
+        max(0, p.row0 - h),
+        min(device.ncols - 1, p.col1 + h),
+        min(device.nrows - 1, p.row1 + h),
+    )
+
+
+def _port_point(design: Design, direction: str, pblock: PBlock) -> tuple[float, float]:
+    """Partition-pin location for the data interface, pblock-relative."""
+    name = "in_data" if direction == "in" else "out_data"
+    port = design.ports.get(name)
+    base = design.pblock
+    if port is not None and port.tile is not None and base is not None:
+        return (
+            pblock.col0 + (port.tile[0] - base.col0),
+            pblock.row0 + (port.tile[1] - base.row0),
+        )
+    col = pblock.col0 if direction == "in" else pblock.col1
+    return (col, (pblock.row0 + pblock.row1) / 2.0)
+
+
+class ComponentPlacer:
+    """Greedy best-first anchor assignment with backtracking."""
+
+    def __init__(
+        self,
+        device: Device,
+        *,
+        halo: int = 4,
+        timing_weight: float = 1.0,
+        congestion_weight: float = 120.0,
+        threshold: float | None = None,
+        max_candidates: int = 96,
+        max_attempts: int = 24000,
+        row_step: int | None = None,
+    ) -> None:
+        self.device = device
+        self.halo = halo
+        self.timing_weight = timing_weight
+        self.congestion_weight = congestion_weight
+        self.threshold = threshold
+        self.max_candidates = max_candidates
+        self.max_attempts = max_attempts
+        self.row_step = row_step
+
+    # -- cost model --------------------------------------------------------
+
+    def _cost(
+        self,
+        idx: int,
+        pblock: PBlock,
+        items: list[tuple[str, Design]],
+        connections: list[tuple[int, int]],
+        placed: dict[int, PBlock],
+        occ=None,
+        rel_sites=None,
+    ) -> tuple[float, float] | None:
+        """(timing, congestion) of placing item *idx* at *pblock*;
+        ``None`` when the candidate's locked sites collide with a placed
+        component.  Pblocks may interleave (columnar devices leave unused
+        site types inside a footprint); only *site* collisions are hard."""
+        if occ is not None and rel_sites is not None:
+            overlapping = any(pblock.overlaps(other) for other in placed.values())
+            if overlapping:
+                ids = self._site_ids(rel_sites[idx], pblock)
+                if occ[ids].any():
+                    return None
+        timing = 0.0
+        design = items[idx][1]
+        for a, b in connections:
+            if a == idx and b in placed:
+                src = _port_point(design, "out", pblock)
+                dst = _port_point(items[b][1], "in", placed[b])
+            elif b == idx and a in placed:
+                src = _port_point(items[a][1], "out", placed[a])
+                dst = _port_point(design, "in", pblock)
+            else:
+                continue
+            timing += abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+        congestion = 0.0
+        mine = _halo(pblock, self.halo, self.device)
+        for other in placed.values():
+            overlap = mine.overlap_area(_halo(other, self.halo, self.device))
+            congestion += overlap / pblock.area
+        return timing, congestion
+
+    # -- search ------------------------------------------------------------
+
+    def place(
+        self,
+        items: list[tuple[str, Design]],
+        connections: list[tuple[int, int]],
+    ) -> ComponentPlacement:
+        """Assign anchors to *items* (BFS order) with *connections* between
+        them (index pairs).  Raises :class:`PlacementInfeasible` when the
+        bounded backtracking search fails."""
+        import numpy as np
+
+        result = ComponentPlacement()
+        candidate_lists: list[list[tuple[int, int]]] = []
+        rel_sites: list[np.ndarray] = []
+        for name, design in items:
+            anchors = candidate_anchors(self.device, design, row_step=self.row_step)
+            if not anchors:
+                raise PlacementInfeasible(
+                    f"component {name}: no compatible anchors on {self.device.name}"
+                )
+            candidate_lists.append(anchors)
+            base = design.pblock
+            rel = np.array(
+                [
+                    (c.placement[0] - base.col0, c.placement[1] - base.row0)
+                    for c in design.cells.values()
+                    if c.is_placed
+                ],
+                dtype=np.int64,
+            ).reshape(-1, 2)
+            rel_sites.append(rel)
+        occ = np.zeros(self.device.ncols * self.device.nrows, dtype=bool)
+
+        # first-fit-decreasing: the biggest (most constrained) footprints
+        # claim their few compatible anchors before small components
+        # fragment the free space
+        order: list[int] = sorted(
+            range(len(items)),
+            key=lambda i: -(items[i][1].pblock.area if items[i][1].pblock else 0),
+        )
+        chosen: dict[int, PBlock] = {}
+        chosen_cost: dict[int, tuple[float, float]] = {}
+        # per-item ranked candidates, recomputed lazily when (re)visited
+        ranked: dict[int, list[tuple[float, float, float, PBlock]]] = {}
+        pointer: dict[int, int] = {}
+        k = 0
+        attempts = 0
+        while k < len(order):
+            idx = order[k]
+            if idx not in ranked:
+                ranked[idx] = self._rank(idx, candidate_lists[idx], items, connections, chosen)
+                pointer[idx] = 0
+            placed_here = False
+            while pointer[idx] < len(ranked[idx]):
+                attempts += 1
+                if attempts > self.max_attempts:
+                    raise PlacementInfeasible(
+                        f"component placement exceeded {self.max_attempts} attempts"
+                    )
+                total, timing, congestion, pblock = ranked[idx][pointer[idx]]
+                pointer[idx] += 1
+                cost = self._cost(
+                    idx, pblock, items, connections, chosen, occ, rel_sites
+                )
+                if cost is None:
+                    continue
+                if self.threshold is not None and cost[0] + cost[1] > self.threshold:
+                    continue
+                chosen[idx] = pblock
+                chosen_cost[idx] = cost
+                occ[self._site_ids(rel_sites[idx], pblock)] = True
+                placed_here = True
+                break
+            if placed_here:
+                k += 1
+                continue
+            # exhausted: backtrack
+            del ranked[idx]
+            if k == 0:
+                raise PlacementInfeasible(
+                    f"component {items[idx][0]}: no feasible anchor (after backtracking)"
+                )
+            k -= 1
+            prev = order[k]
+            result.backtracks += 1
+            prev_pb = chosen.pop(prev, None)
+            if prev_pb is not None:
+                occ[self._site_ids(rel_sites[prev], prev_pb)] = False
+            chosen_cost.pop(prev, None)
+
+        for i, (name, _design) in enumerate(items):
+            pb = chosen[i]
+            result.anchors[name] = (pb.col0, pb.row0)
+            result.pblocks[name] = pb
+            t, c = chosen_cost[i]
+            result.timing_cost += t
+            result.congestion_cost += c
+        result.attempts = attempts
+        return result
+
+    def _site_ids(self, rel, pblock: PBlock):
+        """Absolute site ids of a module's cells when anchored at *pblock*."""
+        nrows = self.device.nrows
+        return (rel[:, 0] + pblock.col0) * nrows + (rel[:, 1] + pblock.row0)
+
+    def _rank(
+        self,
+        idx: int,
+        anchors: list[tuple[int, int]],
+        items: list[tuple[str, Design]],
+        connections: list[tuple[int, int]],
+        placed: dict[int, PBlock],
+    ) -> list[tuple[float, float, float, PBlock]]:
+        """Candidates sorted by weighted cost against the current partial
+        placement (overlapping candidates are kept — re-checked at pick
+        time, since the placed set may shrink on backtracking)."""
+        design = items[idx][1]
+        base = design.pblock
+        scored: list[tuple[float, float, float, PBlock]] = []
+        for col, row in anchors:
+            pblock = PBlock(
+                col, row, col + base.width - 1, row + base.height - 1
+            )
+            if not pblock.within(self.device):
+                continue
+            cost = self._cost(idx, pblock, items, connections, placed)
+            if cost is None:
+                timing, congestion = 1e9, 1e9  # currently blocked; retry later
+            else:
+                timing, congestion = cost
+            total = self.timing_weight * timing + self.congestion_weight * congestion
+            scored.append((total, timing, congestion, pblock))
+        scored.sort(key=lambda t: t[0])
+        return scored[: self.max_candidates]

@@ -1,0 +1,131 @@
+"""A* maze expansion over the implicit grid routing graph.
+
+The expansion is written with inlined neighbor arithmetic (single and hex
+wires) instead of calling back into :class:`RoutingGraph` — this inner
+loop dominates routing time, and the HPC guides are blunt about hot-loop
+overhead in Python.  Costs combine the wire base cost with
+negotiated-congestion multipliers supplied by the caller (PathFinder).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+import numpy as np
+
+from ..fabric.interconnect import HEX_COST, HEX_REACH, SINGLE_COST
+
+__all__ = ["astar_route", "direct_path"]
+
+
+def direct_path(src: int, dst: int, nrows: int) -> list[int]:
+    """Congestion-oblivious L-shaped route: hex wires then singles,
+    columns first, then rows.
+
+    Stays inside the bounding box of the endpoints (hence inside any
+    rectangular region containing them).  Used as the cheap first-pass
+    route; PathFinder rips up and A*-reroutes whatever ends up overused.
+    """
+    path = [src]
+    node = src
+    dcol = dst // nrows - src // nrows
+    step_c = HEX_REACH * nrows if dcol > 0 else -HEX_REACH * nrows
+    for _ in range(abs(dcol) // HEX_REACH):
+        node += step_c
+        path.append(node)
+    for _ in range(abs(dcol) % HEX_REACH):
+        node += nrows if dcol > 0 else -nrows
+        path.append(node)
+    drow = dst % nrows - src % nrows
+    step_r = HEX_REACH if drow > 0 else -HEX_REACH
+    for _ in range(abs(drow) // HEX_REACH):
+        node += step_r
+        path.append(node)
+    for _ in range(abs(drow) % HEX_REACH):
+        node += 1 if drow > 0 else -1
+        path.append(node)
+    return path
+
+
+def astar_route(
+    src: int,
+    dst: int,
+    nrows: int,
+    ncols: int,
+    node_cost: np.ndarray,
+    *,
+    max_expansions: int = 200_000,
+    heuristic_weight: float = 1.0,
+) -> list[int] | None:
+    """Shortest path from *src* to *dst* under per-node entry costs.
+
+    ``node_cost[n]`` is the congestion-adjusted multiplier for entering
+    node *n* (>= 1).  ``heuristic_weight > 1`` trades optimality for
+    speed (weighted A*), as production routers do on reroute passes.
+    Returns the node path including both endpoints, or ``None`` if
+    unreachable within the expansion budget.
+    """
+    if src == dst:
+        return [src]
+    # admissible heuristic: best cost/tile, optionally inflated
+    per_tile = (HEX_COST / HEX_REACH) * heuristic_weight
+    dc, dr = divmod(dst, nrows)
+
+    best_g: dict[int, float] = {src: 0.0}
+    parent: dict[int, int] = {}
+    heap: list[tuple[float, int]] = [(0.0, src)]
+    hex_col = HEX_REACH * nrows
+    n_nodes = nrows * ncols
+    closed: set[int] = set()
+
+    expansions = 0
+    while heap:
+        _f, node = heappop(heap)
+        if node == dst:
+            path = [dst]
+            cursor = dst
+            while cursor != src:
+                cursor = parent[cursor]
+                path.append(cursor)
+            path.reverse()
+            return path
+        if node in closed:
+            continue
+        closed.add(node)
+        expansions += 1
+        if expansions > max_expansions:
+            return None
+        g = best_g[node]
+
+        col, row = divmod(node, nrows)
+        neighbors = []
+        if row + 1 < nrows:
+            neighbors.append((node + 1, SINGLE_COST))
+        if row > 0:
+            neighbors.append((node - 1, SINGLE_COST))
+        if col + 1 < ncols:
+            neighbors.append((node + nrows, SINGLE_COST))
+        if col > 0:
+            neighbors.append((node - nrows, SINGLE_COST))
+        if row + HEX_REACH < nrows:
+            neighbors.append((node + HEX_REACH, HEX_COST))
+        if row >= HEX_REACH:
+            neighbors.append((node - HEX_REACH, HEX_COST))
+        if node + hex_col < n_nodes:
+            neighbors.append((node + hex_col, HEX_COST))
+        if node >= hex_col:
+            neighbors.append((node - hex_col, HEX_COST))
+
+        for nxt, base in neighbors:
+            if nxt in closed:
+                continue
+            ng = g + base * node_cost[nxt]
+            old = best_g.get(nxt)
+            if old is not None and old <= ng:
+                continue
+            best_g[nxt] = ng
+            parent[nxt] = node
+            ncol, nrow = divmod(nxt, nrows)
+            h = (abs(ncol - dc) + abs(nrow - dr)) * per_tile
+            heappush(heap, (ng + h, nxt))
+    return None

@@ -1,0 +1,259 @@
+"""PathFinder negotiated-congestion routing.
+
+Classic iterative rip-up-and-reroute: every source->sink connection is
+routed by A* under per-node costs that combine present congestion (grows
+each iteration) with accumulated history cost; iteration stops when no
+routing node is used beyond its wire capacity.
+
+Locked routes (pre-implemented component internals) are charged into the
+occupancy map but never ripped up — the final "Vivado" pass of the
+pre-implemented flow "will only consider non-routed nets" (paper
+Sec. IV-A2), which is exactly what this router does when handed a
+stitched design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import StageTimer, make_rng
+from ..fabric.device import Device
+from ..fabric.interconnect import RoutingGraph
+from ..netlist.design import Design, DesignError
+from .maze import astar_route, direct_path
+
+__all__ = ["Router", "RouteResult", "RoutingError"]
+
+
+class RoutingError(DesignError):
+    """Raised when the router cannot complete legally."""
+
+
+@dataclass
+class RouteResult:
+    """Summary of a routing run."""
+
+    routed: int
+    failed: int
+    iterations: int
+    wirelength: int
+    overused_nodes: int
+    preexisting: int = 0
+
+    @property
+    def success(self) -> bool:
+        return self.failed == 0 and self.overused_nodes == 0
+
+    def __repr__(self) -> str:
+        status = "ok" if self.success else f"FAILED({self.failed} unrouted, {self.overused_nodes} overused)"
+        return (
+            f"<RouteResult {status}: {self.routed} connections, "
+            f"wl={self.wirelength}, {self.iterations} iters>"
+        )
+
+
+@dataclass
+class _Target:
+    net_name: str
+    sink_index: int
+    src_node: int
+    dst_node: int
+    width: int
+    path: list[int] | None = None
+
+
+class Router:
+    """Negotiated-congestion router over a device's routing graph."""
+
+    def __init__(
+        self,
+        device: Device,
+        graph: RoutingGraph | None = None,
+        *,
+        pres_fac_init: float = 0.6,
+        pres_fac_mult: float = 1.9,
+        hist_fac: float = 0.35,
+        max_iters: int = 12,
+        seed: int = 0,
+    ) -> None:
+        self.device = device
+        self.graph = graph if graph is not None else RoutingGraph(device)
+        self.pres_fac_init = pres_fac_init
+        self.pres_fac_mult = pres_fac_mult
+        self.hist_fac = hist_fac
+        self.max_iters = max_iters
+        self.rng = make_rng(seed)
+
+    # -- public API ------------------------------------------------------
+
+    def route(
+        self,
+        design: Design,
+        *,
+        region=None,
+        timer: StageTimer | None = None,
+    ) -> RouteResult:
+        """Route all unrouted, unlocked data connections of *design*.
+
+        Routed paths are written back onto the nets.  With *region* (a
+        :class:`~repro.fabric.pblock.PBlock`, defaulting to
+        ``design.pblock``), routes are confined to the region — required
+        for pre-implemented components to stay relocatable.  Raises
+        :class:`RoutingError` if a connection's endpoints are unplaced.
+        """
+        timer = timer if timer is not None else StageTimer()
+        graph = self.graph
+        nrows, ncols = self.device.nrows, self.device.ncols
+        if region is None:
+            region = design.pblock
+        blocked = None
+        if region is not None:
+            cols = np.arange(graph.n_nodes) // nrows
+            rows = np.arange(graph.n_nodes) % nrows
+            blocked = ~(
+                (cols >= region.col0)
+                & (cols <= region.col1)
+                & (rows >= region.row0)
+                & (rows <= region.row1)
+            )
+
+        with timer.stage("route/setup"):
+            occupancy = np.zeros(graph.n_nodes, dtype=np.float64)
+            preexisting = 0
+            targets: list[_Target] = []
+            # Branches of one net share trunk wires: a node is charged once
+            # per net, however many of the net's sink paths cross it.
+            net_usage: dict[str, dict[int, int]] = {}
+            for net in design.nets.values():
+                if net.is_clock or net.driver is None:
+                    continue
+                driver = design.cells[net.driver]
+                usage = net_usage.setdefault(net.name, {})
+                for i, sink_name in enumerate(net.sinks):
+                    if net.routes[i] is not None:
+                        # endpoint tiles are cell pins, not routing wires
+                        for node in net.routes[i][1:-1]:
+                            count = usage.get(node, 0)
+                            usage[node] = count + 1
+                            if count == 0:
+                                occupancy[node] += net.width
+                        preexisting += 1
+                        continue
+                    if net.locked:
+                        continue
+                    sink = design.cells[sink_name]
+                    if not driver.is_placed or not sink.is_placed:
+                        raise RoutingError(
+                            f"net {net.name}: cannot route with unplaced endpoints"
+                        )
+                    targets.append(
+                        _Target(
+                            net_name=net.name,
+                            sink_index=i,
+                            src_node=graph.node_id(*driver.placement),
+                            dst_node=graph.node_id(*sink.placement),
+                            width=net.width,
+                        )
+                    )
+            # Short connections first: they establish uncontested fabric use.
+            targets.sort(
+                key=lambda t: abs(t.src_node // nrows - t.dst_node // nrows)
+                + abs(t.src_node % nrows - t.dst_node % nrows)
+            )
+
+        capacity = graph.capacity.astype(np.float64)
+        history = np.zeros(graph.n_nodes, dtype=np.float64)
+        pres_fac = self.pres_fac_init
+        iterations = 0
+        failed = 0
+
+        for iteration in range(self.max_iters):
+            iterations = iteration + 1
+            failed = 0
+            with timer.stage("route/iterate"):
+                over = np.maximum(occupancy - capacity, 0.0) / capacity
+                node_cost = 1.0 + pres_fac * over + self.hist_fac * history
+                if blocked is not None:
+                    node_cost[blocked] = 1e12
+                for tgt in targets:
+                    usage = net_usage[tgt.net_name]
+                    if tgt.path is not None:
+                        if iteration and not _path_overused(tgt.path, occupancy, capacity):
+                            continue  # keep clean paths; reroute congested ones
+                        for node in tgt.path[1:-1]:
+                            usage[node] -= 1
+                            if usage[node] == 0:
+                                del usage[node]
+                                occupancy[node] -= tgt.width
+                        # local refresh of costs along the ripped path
+                        over_p = (
+                            np.maximum(occupancy[tgt.path] - capacity[tgt.path], 0.0)
+                            / capacity[tgt.path]
+                        )
+                        node_cost[tgt.path] = (
+                            1.0 + pres_fac * over_p + self.hist_fac * history[tgt.path]
+                        )
+                        tgt.path = None
+                    if iteration == 0:
+                        # quick pass: congestion-oblivious direct route
+                        path = direct_path(tgt.src_node, tgt.dst_node, nrows)
+                    else:
+                        path = astar_route(
+                            tgt.src_node,
+                            tgt.dst_node,
+                            nrows,
+                            ncols,
+                            node_cost,
+                            heuristic_weight=1.15,
+                        )
+                        if path is None:
+                            # keep connectivity: fall back to the direct
+                            # route and let negotiation continue elsewhere
+                            path = direct_path(tgt.src_node, tgt.dst_node, nrows)
+                    if path is None:
+                        failed += 1
+                        continue
+                    tgt.path = path
+                    for node in path[1:-1]:
+                        count = usage.get(node, 0)
+                        usage[node] = count + 1
+                        if count == 0:
+                            occupancy[node] += tgt.width
+                    # keep costs current for subsequent targets this iteration
+                    over_p = np.maximum(occupancy[path] - capacity[path], 0.0) / capacity[path]
+                    node_cost[path] = 1.0 + pres_fac * over_p + self.hist_fac * history[path]
+
+            overused = occupancy > capacity
+            n_over = int(np.count_nonzero(overused))
+            if n_over == 0 and failed == 0:
+                break
+            history += np.maximum(occupancy - capacity, 0.0) / capacity
+            pres_fac *= self.pres_fac_mult
+
+        with timer.stage("route/commit"):
+            wirelength = 0
+            for tgt in targets:
+                if tgt.path is None:
+                    continue
+                net = design.nets[tgt.net_name]
+                net.routes[tgt.sink_index] = tgt.path
+                wirelength += self.graph.path_tiles(tgt.path)
+
+        n_over_final = int(np.count_nonzero(occupancy > capacity))
+        return RouteResult(
+            routed=sum(1 for t in targets if t.path is not None),
+            failed=sum(1 for t in targets if t.path is None),
+            iterations=iterations,
+            wirelength=wirelength,
+            overused_nodes=n_over_final,
+            preexisting=preexisting,
+        )
+
+
+def _path_overused(path: list[int], occupancy: np.ndarray, capacity: np.ndarray) -> bool:
+    for node in path:
+        if occupancy[node] > capacity[node]:
+            return True
+    return False

@@ -1,0 +1,52 @@
+"""Component synthesis: parameterized netlist generators."""
+
+from .builder import NetlistBuilder
+from .conv import conv_comb_depth, gen_conv
+from .fc import fc_comb_depth, gen_fc
+from .generator import generate_block, generate_component
+from .kernels import KERNELS, KernelSpec, gen_pe_array
+from .memctrl import build_memctrl, gen_memctrl
+from .network import NetworkSynthesis, synthesize_network
+from .pool import gen_pool
+from .relu import gen_relu
+from .resources import (
+    CAL,
+    Parallelism,
+    conv_parallelism,
+    conv_resources,
+    fc_parallelism,
+    fc_resources,
+    memctrl_resources,
+    pool_resources,
+    relu_resources,
+    slices_for,
+)
+
+__all__ = [
+    "NetlistBuilder",
+    "gen_conv",
+    "conv_comb_depth",
+    "gen_fc",
+    "fc_comb_depth",
+    "generate_component",
+    "generate_block",
+    "gen_pe_array",
+    "KERNELS",
+    "KernelSpec",
+    "build_memctrl",
+    "gen_memctrl",
+    "synthesize_network",
+    "NetworkSynthesis",
+    "gen_pool",
+    "gen_relu",
+    "CAL",
+    "Parallelism",
+    "conv_parallelism",
+    "fc_parallelism",
+    "conv_resources",
+    "pool_resources",
+    "relu_resources",
+    "fc_resources",
+    "memctrl_resources",
+    "slices_for",
+]

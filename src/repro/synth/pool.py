@@ -1,0 +1,86 @@
+"""Max-pooling engine generator (paper Fig. 4c).
+
+A shift register aligns each pooling window; a comparator tree per
+channel selects the maximum; a controller strobes the enable.  ReLU can
+be fused onto the output stream (paper Sec. IV-B1: ReLU applies directly
+to the pooled intermediate results, no memory controller needed).
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+
+from ..netlist.design import Design
+from .builder import NetlistBuilder
+from .memctrl import build_memctrl
+from .resources import CAL, pool_resources, relu_resources
+
+__all__ = ["gen_pool"]
+
+
+def gen_pool(
+    channels: int,
+    height: int,
+    width: int,
+    size: int,
+    *,
+    stride: int | None = None,
+    include_relu: bool = False,
+    name: str | None = None,
+) -> Design:
+    """Generate a max-pool component (optionally with fused ReLU)."""
+    stride = stride or size
+    budget = pool_resources(channels, size, width)
+    depth = int(min(4, max(1, ceil(log2(size * size)))))
+
+    builder = NetlistBuilder(name or f"pool_c{channels}x{height}x{width}_s{size}")
+
+    src_cells, src_entry, src_exit = build_memctrl(builder, "src", channels * height * width)
+
+    lb = builder.slice_group("shreg", budget.lut_lb, channels * 4)
+    lb_brams = builder.bram_group("shreg_mem", budget.bram_lb)
+    if lb:
+        builder.chain(lb, "shreg")
+        builder.link(src_exit, lb[0], "feed")
+    if lb_brams:
+        builder.chain(lb_brams, "shrow")
+        builder.link(src_exit, lb_brams[0], "feed_mem")
+        if lb:
+            builder.link(lb_brams[-1], lb[0], "sh_rd")
+
+    comps = builder.slice_group("cmp", budget.lut_cmp, budget.ff, comb_depth=depth)
+    builder.reduce_tree(comps, "cmptree")
+    window_src = lb[-1] if lb else src_exit
+    builder.fanout(window_src, comps[-max(1, len(comps) // 2):], "window")
+
+    out_stage = comps[0]
+    if include_relu:
+        rres = relu_resources(channels)
+        relu = builder.slice_group("relu", rres["LUT"], rres["FF"])
+        builder.fanout(out_stage, relu, "to_relu")
+        out_stage = relu[0]
+
+    ctl = builder.slice_group("ctl", budget.lut_base, 32, comb_depth=2)
+    builder.fanout(ctl[0], [src_cells[0], comps[0]] + (lb[:1] if lb else []), "enable", width=2)
+
+    oh = (height - size) // stride + 1
+    ow = (width - size) // stride + 1
+    snk_cells, snk_entry, snk_exit = build_memctrl(builder, "snk", channels * oh * ow)
+    builder.link(out_stage, snk_entry, "result")
+
+    builder.input_port("in_data", [src_entry], protocol="mem")
+    builder.output_port("out_data", snk_exit, protocol="mem")
+    builder.clock()
+
+    return builder.finish(
+        kind="pool_relu" if include_relu else "pool",
+        params={
+            "channels": channels,
+            "height": height,
+            "width": width,
+            "size": size,
+            "stride": stride,
+        },
+        parallelism={"pf": channels, "pk": 1},
+        comb_depth=depth,
+    )

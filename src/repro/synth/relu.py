@@ -1,0 +1,34 @@
+"""Standalone ReLU component generator.
+
+ReLU is normally fused into the upstream component (it needs no memory
+controller), but a standalone engine is provided for architectures that
+keep it separate — it streams element-wise through a sign mux.
+"""
+
+from __future__ import annotations
+
+from ..netlist.design import Design
+from .builder import NetlistBuilder
+from .resources import relu_resources
+
+__all__ = ["gen_relu"]
+
+
+def gen_relu(channels: int, name: str | None = None) -> Design:
+    """Generate a streaming ReLU component for *channels* parallel lanes."""
+    res = relu_resources(channels)
+    builder = NetlistBuilder(name or f"relu_c{channels}")
+    lanes = builder.slice_group("lane", res["LUT"], res["FF"])
+    ctl = builder.slice_group("ctl", 16, 8, comb_depth=1)
+    builder.fanout(ctl[0], lanes, "enable", width=1)
+    if len(lanes) > 1:
+        builder.chain(lanes, "lane_chain")
+    builder.input_port("in_data", [lanes[0]])
+    builder.output_port("out_data", lanes[-1])
+    builder.clock()
+    return builder.finish(
+        kind="relu",
+        params={"channels": channels},
+        parallelism={"pf": channels, "pk": 1},
+        comb_depth=1,
+    )

@@ -1,0 +1,16 @@
+"""Timing: delay models, static timing analysis, pipelining."""
+
+from .delays import DEFAULT_DELAYS, DelayModel
+from .pipeline import PipelineResult, pipeline_to_target
+from .sta import TimingError, TimingReport, analyze, fmax_mhz
+
+__all__ = [
+    "DEFAULT_DELAYS",
+    "DelayModel",
+    "PipelineResult",
+    "pipeline_to_target",
+    "TimingError",
+    "TimingReport",
+    "analyze",
+    "fmax_mhz",
+]

@@ -1,0 +1,118 @@
+"""Delay models: logic, wire and fabric-discontinuity delays.
+
+Cell logic delays come from the library (scaled by ``comb_depth``);
+net delays come from routed paths when available, otherwise from a
+placement-based Manhattan estimate with a detour factor.  Crossing an
+I/O column costs an extra penalty — the "fabric discontinuities such as
+erratic tile patterns and I/O columns" the paper identifies as the main
+QoR hazard when spreading components across the chip (Sec. V-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fabric.device import Device
+from ..fabric.interconnect import RoutingGraph
+from ..netlist.cell import Cell
+from ..netlist.design import Design
+from ..netlist.net import Net
+
+__all__ = ["DelayModel", "DEFAULT_DELAYS"]
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Constants converting topology into picoseconds.
+
+    Calibrated so tightly-pblocked OOC components reach the ~450-650 MHz
+    band of Table III, while monolithically-placed full networks land in
+    the ~200-400 MHz band.
+    """
+
+    tile_delay_ps: float = 22.0       # per tile spanned by a routed wire
+    far_tile_delay_ps: float = 11.0   # per tile beyond the long-line knee
+    long_line_knee: float = 40.0      # tiles after which long lines kick in
+    net_base_ps: float = 45.0         # switchbox entry/exit per net
+    io_cross_ps: float = 380.0        # per I/O column crossed
+    clock_overhead_ps: float = 150.0  # skew + jitter + uncertainty
+    detour_factor: float = 1.25       # estimate inflation for unrouted nets
+    unplaced_tiles: float = 3.0       # assumed span when placement unknown
+    fanout_ps: float = 6.0            # loading per extra sink
+    fanout_cap: int = 15              # buffering assumed beyond this fanout
+    congestion_ps: float = 120.0      # per unit of overuse along a path
+
+    # -- logic ---------------------------------------------------------------
+
+    def logic_delay_ps(self, cell: Cell) -> float:
+        """Clock-to-out (sequential) or propagation (combinational)."""
+        return cell.logic_delay_ps()
+
+    def wire_delay_ps(self, tiles: float) -> float:
+        """Distance-dependent wire delay: singles/hexes up to the knee,
+        faster long lines beyond it (as on real fabrics, where long-haul
+        routes ride dedicated low-RC wires)."""
+        near = min(tiles, self.long_line_knee)
+        far = max(0.0, tiles - self.long_line_knee)
+        return self.tile_delay_ps * near + self.far_tile_delay_ps * far
+
+    def setup_ps(self, cell: Cell) -> float:
+        return cell.spec.setup_ps
+
+    # -- wires ----------------------------------------------------------------
+
+    def routed_net_delay_ps(
+        self, graph: RoutingGraph, path: list[int], fanout: int = 1
+    ) -> float:
+        """Delay of one routed source->sink path."""
+        tiles = graph.path_tiles(path)
+        crossings = graph.path_io_crossings(path)
+        return (
+            self.net_base_ps
+            + self.wire_delay_ps(tiles)
+            + self.io_cross_ps * crossings
+            + self.fanout_ps * min(max(0, fanout - 1), self.fanout_cap)
+        )
+
+    def estimated_net_delay_ps(
+        self,
+        device: Device | None,
+        src: tuple[int, int] | None,
+        dst: tuple[int, int] | None,
+        fanout: int = 1,
+    ) -> float:
+        """Placement-based estimate for an unrouted net."""
+        if src is None or dst is None:
+            tiles = self.unplaced_tiles
+            crossings = 0
+        else:
+            tiles = (abs(src[0] - dst[0]) + abs(src[1] - dst[1])) * self.detour_factor
+            crossings = device.io_crossings(src[0], dst[0]) if device is not None else 0
+        return (
+            self.net_base_ps
+            + self.wire_delay_ps(tiles)
+            + self.io_cross_ps * crossings
+            + self.fanout_ps * min(max(0, fanout - 1), self.fanout_cap)
+        )
+
+    def net_delay_ps(
+        self,
+        design: Design,
+        net: Net,
+        sink_index: int,
+        device: Device | None = None,
+        graph: RoutingGraph | None = None,
+    ) -> float:
+        """Delay from a net's driver to ``net.sinks[sink_index]``."""
+        fanout = len(net.sinks)
+        route = net.routes[sink_index] if sink_index < len(net.routes) else None
+        if route is not None and graph is not None:
+            return self.routed_net_delay_ps(graph, route, fanout)
+        src = design.cells[net.driver].placement if net.driver else None
+        sink = net.sinks[sink_index]
+        dst = design.cells[sink].placement if sink in design.cells else None
+        return self.estimated_net_delay_ps(device, src, dst, fanout)
+
+
+#: Library-default calibration.
+DEFAULT_DELAYS = DelayModel()

@@ -1,0 +1,142 @@
+"""Critical-path pipelining: FF insertion to close timing.
+
+When components are spread across the chip, fabric discontinuities
+stretch inter-component nets; the paper inserts "pipeline elements such
+as FFs on the critical path" to improve Fmax at the cost of latency
+(Sec. V-E).  :func:`pipeline_to_target` repeatedly splits the worst
+register-to-register net with a pipeline register placed near the net's
+midpoint, until the design meets the target period or the pass budget is
+exhausted.  The number of inserted registers is recorded in
+``design.metadata["pipeline_regs"]`` for the latency model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fabric.device import Device, TILE_FOR_CELL
+from ..fabric.interconnect import RoutingGraph
+from ..netlist.design import Design
+from .delays import DEFAULT_DELAYS, DelayModel
+from .sta import TimingReport, analyze
+
+__all__ = ["PipelineResult", "pipeline_to_target"]
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of a pipelining run."""
+
+    inserted: int
+    before: TimingReport
+    after: TimingReport
+
+    @property
+    def fmax_gain(self) -> float:
+        return self.after.fmax_mhz / self.before.fmax_mhz if self.before.fmax_mhz else 1.0
+
+
+def _free_site_near(
+    device: Device, occupied: set[tuple[int, int]], near: tuple[int, int], ctype: str
+) -> tuple[int, int] | None:
+    """Closest unoccupied site of *ctype* to *near* (ring search)."""
+    want_tile = TILE_FOR_CELL[ctype]
+    cols = device.columns_of(want_tile)
+    if cols.size == 0:
+        return None
+    ncol, nrow = near
+    # Search columns by distance from the target column, rows likewise.
+    for col in sorted(cols, key=lambda c: abs(int(c) - ncol)):
+        col = int(col)
+        if abs(col - ncol) > device.ncols:  # pragma: no cover - defensive
+            break
+        for dr in range(device.nrows):
+            for row in (nrow - dr, nrow + dr) if dr else (nrow,):
+                if 0 <= row < device.nrows and (col, row) not in occupied:
+                    return (col, row)
+    return None
+
+
+def pipeline_to_target(
+    design: Design,
+    device: Device,
+    target_period_ps: float,
+    *,
+    graph: RoutingGraph | None = None,
+    delays: DelayModel = DEFAULT_DELAYS,
+    max_regs: int = 64,
+) -> PipelineResult:
+    """Insert pipeline FFs on critical nets until the period target holds.
+
+    Only unlocked nets are split (pre-implemented component internals stay
+    intact); splitting a routed net discards its route, leaving it for the
+    incremental router.  Newly inserted registers join the clock net.
+    """
+    before = analyze(design, device, graph, delays)
+    report = before
+    occupied = {c.placement for c in design.cells.values() if c.is_placed}
+    clock_nets = [n for n in design.nets.values() if n.is_clock]
+    inserted = 0
+
+    while report.period_ps > target_period_ps and inserted < max_regs:
+        hop = _worst_splittable_hop(design, report)
+        if hop is None:
+            break
+        net = design.nets[hop]
+        src = design.cells[net.driver]
+        # Place the register near the midpoint of the worst hop.
+        sink_cell = design.cells[net.sinks[0]]
+        if src.is_placed and sink_cell.is_placed:
+            mid = (
+                (src.placement[0] + sink_cell.placement[0]) // 2,
+                (src.placement[1] + sink_cell.placement[1]) // 2,
+            )
+        else:
+            mid = src.placement or sink_cell.placement or (0, 0)
+        site = _free_site_near(device, occupied, mid, "SLICE")
+        reg_name = f"pipe_reg_{inserted}_{net.name.replace('/', '.')}"
+        ffs = min(net.width, 16)
+        design.new_cell(reg_name, "SLICE", luts=0, ffs=ffs,
+                        placement=site, comb_depth=1, seq=True)
+        if site is not None:
+            occupied.add(site)
+        # Split: driver -> reg, reg -> original sinks.
+        sinks = list(net.sinks)
+        saved = (net.name, net.driver, sinks, net.width)
+        del design.nets[net.name]
+        design.connect(net.name + "__a", net.driver, [reg_name], width=net.width)
+        design.connect(net.name + "__b", reg_name, sinks, width=net.width)
+        for cnet in clock_nets:
+            cnet.add_sink(reg_name)
+        new_report = analyze(design, device, graph, delays)
+        if new_report.period_ps >= report.period_ps - 1e-9:
+            # No progress (e.g. an I/O-crossing penalty no register removes):
+            # revert the split and stop rather than thrash.
+            del design.nets[saved[0] + "__a"]
+            del design.nets[saved[0] + "__b"]
+            del design.cells[reg_name]
+            if site is not None:
+                occupied.discard(site)
+            for cnet in clock_nets:
+                cnet.sinks.remove(reg_name)
+                cnet.routes.pop()
+            design.connect(saved[0], saved[1], saved[2], width=saved[3])
+            break
+        inserted += 1
+        report = new_report
+
+    design.metadata["pipeline_regs"] = design.metadata.get("pipeline_regs", 0) + inserted
+    return PipelineResult(inserted=inserted, before=before, after=report)
+
+
+def _worst_splittable_hop(design: Design, report: TimingReport) -> str | None:
+    """Pick the unlocked net on the critical path with the longest hop."""
+    candidates = [net for _cell, net in report.critical_path if net is not None]
+    for net_name in reversed(candidates):
+        net = design.nets.get(net_name)
+        if net is None or net.locked or net.is_clock or net.driver is None:
+            continue
+        if not net.sinks:
+            continue
+        return net_name
+    return None

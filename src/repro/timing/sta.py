@@ -1,0 +1,189 @@
+"""Static timing analysis.
+
+Register-to-register analysis over the cluster netlist: sequential cells
+launch at clock-to-out, combinational cells propagate worst-case arrival
+through their logic, and every sequential input imposes
+``arrival + setup <= period``.  Clock nets are excluded (dedicated
+network).  The achieved Fmax is ``1 / (worst path + clock overhead)``.
+
+Combinational loops are a design error and raise :class:`TimingError`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..fabric.device import Device
+from ..fabric.interconnect import RoutingGraph
+from ..netlist.design import Design
+from .delays import DEFAULT_DELAYS, DelayModel
+
+__all__ = ["TimingReport", "TimingError", "analyze", "fmax_mhz"]
+
+
+class TimingError(ValueError):
+    """Raised on unanalyzable designs (e.g. combinational loops)."""
+
+
+@dataclass
+class TimingReport:
+    """Result of one STA run.
+
+    ``critical_path`` lists ``(cell, via_net)`` hops from the launching
+    register to the capturing register (the first entry's ``via_net`` is
+    ``None``).
+    """
+
+    design: str
+    period_ps: float
+    clock_overhead_ps: float
+    critical_path: list[tuple[str, str | None]] = field(default_factory=list)
+    n_paths: int = 0
+
+    @property
+    def fmax_mhz(self) -> float:
+        return 1e6 / (self.period_ps + self.clock_overhead_ps)
+
+    @property
+    def critical_cells(self) -> list[str]:
+        return [cell for cell, _ in self.critical_path]
+
+    def summary(self) -> str:
+        path = " -> ".join(self.critical_cells[:6])
+        more = "..." if len(self.critical_path) > 6 else ""
+        return (
+            f"{self.design}: Fmax {self.fmax_mhz:.1f} MHz "
+            f"(data path {self.period_ps:.0f} ps, {self.n_paths} endpoints)\n"
+            f"  critical: {path}{more}"
+        )
+
+
+def analyze(
+    design: Design,
+    device: Device | None = None,
+    graph: RoutingGraph | None = None,
+    delays: DelayModel = DEFAULT_DELAYS,
+) -> TimingReport:
+    """Run STA on *design* and return the worst register-to-register path."""
+    cells = design.cells
+    # Incoming data edges per cell: (src_cell, net_name, delay_ps)
+    fan_in: dict[str, list[tuple[str, str, float]]] = {name: [] for name in cells}
+
+    for net in design.nets.values():
+        if net.is_clock or net.driver is None:
+            continue
+        for i, sink in enumerate(net.sinks):
+            if sink not in cells:
+                continue
+            delay = delays.net_delay_ps(design, net, i, device, graph)
+            fan_in[sink].append((net.driver, net.name, delay))
+
+    # Build combinational-propagation order: edges into comb cells only.
+    indeg: dict[str, int] = {}
+    comb_edges: dict[str, list[str]] = {name: [] for name in cells}
+    for dst, edges in fan_in.items():
+        if cells[dst].seq:
+            continue
+        indeg[dst] = len(edges)
+        for src, _net, _d in edges:
+            comb_edges[src].append(dst)
+
+    # out_time[c]: data-valid time at cell output relative to clock edge.
+    out_time: dict[str, float] = {}
+    best_pred: dict[str, tuple[str, str] | None] = {}
+    queue: deque[str] = deque()
+    for name, cell in cells.items():
+        if cell.seq:
+            out_time[name] = delays.logic_delay_ps(cell)
+            best_pred[name] = None
+            queue.append(name)
+        elif indeg.get(name, 0) == 0:
+            # Combinational cell with no data inputs (constant generator).
+            out_time[name] = delays.logic_delay_ps(cell)
+            best_pred[name] = None
+            queue.append(name)
+
+    processed = 0
+    resolved: set[str] = set(out_time)
+    while queue:
+        src = queue.popleft()
+        processed += 1
+        for dst in comb_edges[src]:
+            indeg[dst] -= 1
+            if indeg[dst] == 0:
+                arr, pred = _worst_arrival(dst, fan_in, out_time)
+                out_time[dst] = arr + delays.logic_delay_ps(cells[dst])
+                best_pred[dst] = pred
+                resolved.add(dst)
+                queue.append(dst)
+
+    unresolved = [n for n, d in indeg.items() if d > 0]
+    if unresolved:
+        raise TimingError(
+            f"design {design.name}: combinational loop involving "
+            f"{sorted(unresolved)[:5]} (+{max(0, len(unresolved) - 5)} more)"
+        )
+
+    # Path endpoints: sequential cell inputs.
+    worst = 0.0
+    worst_end: tuple[str, tuple[str, str] | None] | None = None
+    n_paths = 0
+    for dst, edges in fan_in.items():
+        if not cells[dst].seq:
+            continue
+        for src, net_name, delay in edges:
+            if src not in out_time:
+                continue
+            n_paths += 1
+            total = out_time[src] + delay + delays.setup_ps(cells[dst])
+            if total > worst:
+                worst = total
+                worst_end = (dst, (src, net_name))
+
+    if worst_end is None:
+        # Purely combinational or empty design: report logic depth only.
+        worst = max(out_time.values(), default=0.0)
+        return TimingReport(design.name, worst, delays.clock_overhead_ps, [], 0)
+
+    # Reconstruct the critical path.
+    path: list[tuple[str, str | None]] = []
+    end_cell, hop = worst_end
+    path.append((end_cell, hop[1]))
+    cursor: str | None = hop[0]
+    guard = 0
+    while cursor is not None and guard < len(cells) + 1:
+        pred = best_pred.get(cursor)
+        path.append((cursor, pred[1] if pred else None))
+        cursor = pred[0] if pred else None
+        guard += 1
+    path.reverse()
+
+    return TimingReport(design.name, worst, delays.clock_overhead_ps, path, n_paths)
+
+
+def _worst_arrival(
+    dst: str,
+    fan_in: dict[str, list[tuple[str, str, float]]],
+    out_time: dict[str, float],
+) -> tuple[float, tuple[str, str] | None]:
+    worst = 0.0
+    pred: tuple[str, str] | None = None
+    for src, net_name, delay in fan_in[dst]:
+        if src not in out_time:
+            continue
+        arr = out_time[src] + delay
+        if arr > worst:
+            worst = arr
+            pred = (src, net_name)
+    return worst, pred
+
+
+def fmax_mhz(
+    design: Design,
+    device: Device | None = None,
+    graph: RoutingGraph | None = None,
+    delays: DelayModel = DEFAULT_DELAYS,
+) -> float:
+    """Convenience wrapper returning only the achieved Fmax in MHz."""
+    return analyze(design, device, graph, delays).fmax_mhz

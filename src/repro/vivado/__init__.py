@@ -1,0 +1,6 @@
+"""Vendor-tool-style monolithic implementation flow (the baseline)."""
+
+from .flow import FlowResult, VivadoFlow
+from .opt import OptStats, opt_design
+
+__all__ = ["FlowResult", "VivadoFlow", "OptStats", "opt_design"]

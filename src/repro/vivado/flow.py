@@ -1,0 +1,138 @@
+"""The monolithic vendor-tool flow ("VivadoFlow").
+
+Baseline the paper compares against: synthesize the whole network into
+one flat netlist, then ``opt_design -> place_design -> phys_opt_design ->
+route_design`` on the full device, followed by STA and power estimation.
+Compile time is measured for real (the productivity experiments report
+wall-clock of these stages), and QoR suffers on large designs because
+the bounded-effort engines optimize a much bigger problem at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .._util import StageTimer
+from ..cnn.graph import DFG
+from ..fabric.device import Device
+from ..fabric.interconnect import RoutingGraph
+from ..netlist.design import Design
+from ..place.placer import PlacementResult, place_design
+from ..power.model import PowerReport, estimate_power
+from ..route.pathfinder import RouteResult, Router
+from ..synth.network import NetworkSynthesis, synthesize_network
+from ..timing.delays import DEFAULT_DELAYS, DelayModel
+from ..timing.sta import TimingReport, analyze
+from .opt import OptStats, opt_design
+
+__all__ = ["FlowResult", "VivadoFlow"]
+
+
+@dataclass
+class FlowResult:
+    """Outcome of one implementation run (either flow)."""
+
+    design: Design
+    timer: StageTimer
+    timing: TimingReport
+    power: PowerReport
+    place: PlacementResult | None = None
+    route: RouteResult | None = None
+    opt: OptStats | None = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def fmax_mhz(self) -> float:
+        return self.timing.fmax_mhz
+
+    @property
+    def runtime_s(self) -> float:
+        return self.timer.total
+
+    def utilization(self, device: Device) -> dict[str, float]:
+        usage = self.design.resource_usage()
+        keys = ("LUT", "FF", "DSP48E2", "RAMB36")
+        return device.utilization({k: usage.get(k, 0) for k in keys})
+
+    def summary(self) -> str:
+        return (
+            f"{self.design.name}: {self.fmax_mhz:.1f} MHz, "
+            f"{self.runtime_s:.1f} s compile"
+        )
+
+
+class VivadoFlow:
+    """Monolithic implementation flow on a full device.
+
+    Parameters
+    ----------
+    device:
+        Target device.
+    effort:
+        Placement effort preset name (see :data:`repro.place.EFFORTS`).
+    seed:
+        Seed for every stochastic stage.
+    delays:
+        Delay model used for STA.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        *,
+        effort: str = "medium",
+        seed: int = 0,
+        delays: DelayModel = DEFAULT_DELAYS,
+    ) -> None:
+        self.device = device
+        self.effort = effort
+        self.seed = seed
+        self.delays = delays
+        self.graph = RoutingGraph(device)
+
+    # -- entry points ------------------------------------------------------
+
+    def run(
+        self,
+        dfg: DFG,
+        *,
+        granularity: str = "layer",
+        rom_weights: bool = True,
+    ) -> FlowResult:
+        """Synthesize and implement a CNN end to end."""
+        timer = StageTimer()
+        with timer.stage("synth"):
+            synthesis: NetworkSynthesis = synthesize_network(
+                dfg, granularity=granularity, rom_weights=rom_weights
+            )
+        result = self.implement(synthesis.top, timer=timer)
+        result.extras["synthesis"] = synthesis
+        return result
+
+    def implement(self, design: Design, *, timer: StageTimer | None = None) -> FlowResult:
+        """Implement an already-synthesized flat design."""
+        timer = timer if timer is not None else StageTimer()
+        with timer.stage("opt_design"):
+            opt = opt_design(design)
+        with timer.stage("place_design"):
+            place = place_design(
+                design, self.device, effort=self.effort, seed=self.seed, timer=timer
+            )
+        with timer.stage("route_design"):
+            route = Router(self.device, self.graph, seed=self.seed).route(
+                design, timer=timer
+            )
+        with timer.stage("timing"):
+            timing = analyze(design, self.device, self.graph, self.delays)
+        with timer.stage("power"):
+            power = estimate_power(design, self.device, timing.fmax_mhz, self.graph)
+        design.metadata["fmax_mhz"] = timing.fmax_mhz
+        return FlowResult(
+            design=design,
+            timer=timer,
+            timing=timing,
+            power=power,
+            place=place,
+            route=route,
+            opt=opt,
+        )

@@ -1,0 +1,54 @@
+"""Shared fixtures: devices of several sizes and a tiny CNN."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Device
+from repro.cnn import Conv2D, Dense, DFG, Flatten, Input, MaxPool2D, ReLU
+from repro.fabric import RoutingGraph
+
+
+@pytest.fixture(scope="session")
+def tiny_device() -> Device:
+    return Device.from_name("tiny")
+
+
+@pytest.fixture(scope="session")
+def small_device() -> Device:
+    return Device.from_name("small")
+
+
+@pytest.fixture(scope="session")
+def big_device() -> Device:
+    return Device.from_name("ku5p-like")
+
+
+@pytest.fixture(scope="session")
+def small_graph(small_device) -> RoutingGraph:
+    return RoutingGraph(small_device)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph(tiny_device) -> RoutingGraph:
+    return RoutingGraph(tiny_device)
+
+
+def make_tiny_cnn() -> DFG:
+    """A 4-component CNN small enough for flow tests on the small part."""
+    return DFG.sequential(
+        "tinynet",
+        [
+            Input("input", shape=(1, 12, 12)),
+            Conv2D("conv1", filters=2, kernel=3),
+            MaxPool2D("pool1", size=2),
+            ReLU("relu1"),
+            Flatten("flatten"),
+            Dense("fc1", units=4),
+        ],
+    )
+
+
+@pytest.fixture
+def tiny_cnn() -> DFG:
+    return make_tiny_cnn()

@@ -1,0 +1,63 @@
+"""Command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _run(argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_info_lists_resources():
+    code, text = _run(["info", "--part", "tiny"])
+    assert code == 0
+    assert "tiny" in text and "LUT" in text
+    assert "I/O (discontinuity) columns" in text
+
+
+def test_models_table_matches_catalog():
+    code, text = _run(["models"])
+    assert code == 0
+    for name in ("lenet5", "lenet5_caffe", "vgg16"):
+        assert name in text
+    assert "15.5 G" in text  # VGG-16 MACs from Table I
+
+
+def test_run_baseline_only_small_model():
+    code, text = _run(["run", "--model", "lenet5", "--flow", "baseline", "--seed", "1"])
+    assert code == 0
+    assert "baseline" in text and "MHz" in text
+    assert "preimpl" not in text
+
+
+def test_run_both_flows_reports_productivity():
+    code, text = _run(["run", "--model", "lenet5", "--flow", "both"])
+    assert code == 0
+    assert "offline component library" in text
+    assert "productivity gain" in text
+
+
+def test_explore_reports_trials():
+    code, text = _run(["explore", "--component", "pool1", "--seeds", "2"])
+    assert code == 0
+    assert "best:" in text and "anchors" in text
+
+
+def test_floorplan_renders():
+    code, text = _run(["floorplan", "--model", "lenet5", "--width", "60",
+                       "--height", "12"])
+    assert code == 0
+    assert "comp0_conv1" in text
+    assert "MHz stitched" in text
+
+
+def test_parser_rejects_unknown():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--model", "alexnet"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])

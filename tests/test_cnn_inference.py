@@ -1,0 +1,133 @@
+"""Golden-model inference: kernel correctness and end-to-end runs."""
+
+import numpy as np
+import pytest
+
+from repro.cnn import (
+    conv2d,
+    dense,
+    lenet5,
+    maxpool2d,
+    quantized_inference,
+    random_weights,
+    relu,
+    run_inference,
+)
+from repro.cnn.quantize import FixedPointFormat, Q8_8, dequantize, quantize
+
+
+def _naive_conv(x, w, b, stride=1, pad=0):
+    f, c, k, _ = w.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (pad, pad), (pad, pad)))
+    _, h, wd = x.shape
+    oh = (h - k) // stride + 1
+    ow = (wd - k) // stride + 1
+    out = np.zeros((f, oh, ow))
+    for fi in range(f):
+        for i in range(oh):
+            for j in range(ow):
+                patch = x[:, i * stride:i * stride + k, j * stride:j * stride + k]
+                out[fi, i, j] = (patch * w[fi]).sum() + b[fi]
+    return out
+
+
+def test_conv2d_matches_naive():
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=(3, 9, 9))
+    w = rng.normal(size=(4, 3, 3, 3))
+    b = rng.normal(size=4)
+    for stride, pad in [(1, 0), (2, 0), (1, 1), (2, 1)]:
+        np.testing.assert_allclose(
+            conv2d(x, w, b, stride, pad), _naive_conv(x, w, b, stride, pad), atol=1e-10
+        )
+
+
+def test_conv2d_channel_mismatch():
+    with pytest.raises(ValueError, match="channel mismatch"):
+        conv2d(np.zeros((2, 5, 5)), np.zeros((1, 3, 3, 3)), np.zeros(1))
+
+
+def test_maxpool_matches_naive():
+    rng = np.random.default_rng(8)
+    x = rng.normal(size=(2, 8, 8))
+    out = maxpool2d(x, 2)
+    assert out.shape == (2, 4, 4)
+    for c in range(2):
+        for i in range(4):
+            for j in range(4):
+                assert out[c, i, j] == x[c, 2 * i:2 * i + 2, 2 * j:2 * j + 2].max()
+
+
+def test_relu_and_dense():
+    assert (relu(np.array([-1.0, 0.0, 2.0])) == [0.0, 0.0, 2.0]).all()
+    w = np.array([[1.0, 2.0], [3.0, 4.0]])
+    np.testing.assert_allclose(dense(np.array([1.0, 1.0]), w, np.zeros(2)), [3.0, 7.0])
+
+
+def test_lenet_end_to_end_shapes_and_determinism():
+    net = lenet5()
+    weights = random_weights(net, seed=3)
+    x = np.linspace(-1, 1, 32 * 32).reshape(1, 32, 32)
+    out1 = run_inference(net, x, weights)
+    out2 = run_inference(net, x, weights)
+    assert out1.shape == (10,)
+    np.testing.assert_array_equal(out1, out2)
+
+
+def test_collect_returns_all_activations():
+    net = lenet5()
+    weights = random_weights(net, seed=3)
+    x = np.zeros((1, 32, 32))
+    out, acts = run_inference(net, x, weights, collect=True)
+    assert set(acts) == set(net.nodes)
+    np.testing.assert_array_equal(acts["fc2"], out)
+
+
+def test_input_shape_mismatch_raises():
+    net = lenet5()
+    with pytest.raises(ValueError, match="input shape"):
+        run_inference(net, np.zeros((1, 8, 8)), random_weights(net))
+
+
+def test_random_weights_shapes():
+    net = lenet5()
+    weights = random_weights(net, seed=0)
+    assert weights["conv1"]["weight"].shape == (6, 1, 5, 5)
+    assert weights["fc1"]["weight"].shape == (120, 400)
+
+
+# -- quantization --------------------------------------------------------------
+
+
+def test_quantize_roundtrip_within_resolution():
+    rng = np.random.default_rng(5)
+    x = rng.uniform(-10, 10, size=100)
+    err = np.abs(dequantize(quantize(x)) - x)
+    assert err.max() <= Q8_8.resolution / 2 + 1e-12
+
+
+def test_quantize_saturates():
+    q = quantize(np.array([1e6, -1e6]))
+    assert dequantize(q)[0] == Q8_8.max_value
+    assert dequantize(q)[1] == Q8_8.min_value
+
+
+def test_fixed_format_validation():
+    with pytest.raises(ValueError):
+        FixedPointFormat(int_bits=-1)
+    with pytest.raises(ValueError):
+        FixedPointFormat(int_bits=40, frac_bits=40)
+    assert Q8_8.total_bits == 16
+
+
+def test_quantized_inference_close_to_float():
+    net = lenet5()
+    weights = random_weights(net, seed=1, scale=0.05)
+    rng = np.random.default_rng(2)
+    x = rng.uniform(0, 1, size=(1, 32, 32))
+    exact = run_inference(net, x, weights)
+    fixed = quantized_inference(net, x, weights)
+    # fixed-16 keeps the result close and preserves the argmax decision
+    assert np.abs(exact - fixed).max() < 0.25
+    assert exact.argmax() == fixed.argmax()

@@ -1,0 +1,216 @@
+"""Layer math, DFG traversal, shape inference, component grouping."""
+
+import pytest
+
+from repro.cnn import (
+    Conv2D,
+    DFG,
+    Dense,
+    Flatten,
+    Input,
+    MaxPool2D,
+    ReLU,
+    group_components,
+)
+
+
+# -- layer math ------------------------------------------------------------
+
+
+def test_conv_shapes_valid_padding():
+    conv = Conv2D("c", filters=6, kernel=5)
+    assert conv.out_shape((1, 32, 32)) == (6, 28, 28)
+
+
+def test_conv_shapes_same_padding():
+    conv = Conv2D("c", filters=64, kernel=3, padding="same")
+    assert conv.out_shape((3, 224, 224)) == (64, 224, 224)
+
+
+def test_conv_explicit_padding_and_stride():
+    conv = Conv2D("c", filters=4, kernel=3, stride=2, padding=1)
+    assert conv.out_shape((2, 8, 8)) == (4, 4, 4)
+
+
+def test_conv_counts_match_paper_narrative():
+    # paper Sec. V-E: conv1 has 156 params / 117,600 MACs;
+    # conv2 has 2,416 params / 240,000 MACs.
+    conv1 = Conv2D("conv1", filters=6, kernel=5)
+    assert conv1.n_weights((1, 32, 32)) == 156
+    assert conv1.n_macs((1, 32, 32)) == 117_600
+    conv2 = Conv2D("conv2", filters=16, kernel=5)
+    assert conv2.n_weights((6, 14, 14)) == 2_416
+    assert conv2.n_macs((6, 14, 14)) == 240_000
+
+
+def test_conv_invalid_output_raises():
+    with pytest.raises(ValueError):
+        Conv2D("c", filters=1, kernel=9).out_shape((1, 4, 4))
+
+
+def test_pool_shapes_and_signature():
+    pool = MaxPool2D("p", size=2)
+    assert pool.out_shape((6, 28, 28)) == (6, 14, 14)
+    assert pool.signature((6, 28, 28)) == ("pool", 6, 2, 2)
+
+
+def test_relu_flatten_dense():
+    assert ReLU("r").out_shape((3, 4, 5)) == (3, 4, 5)
+    assert Flatten("f").out_shape((3, 4, 5)) == (60,)
+    d = Dense("d", units=10)
+    assert d.out_shape((60,)) == (10,)
+    assert d.n_weights((60,)) == 610
+    assert d.n_macs((60,)) == 600
+    with pytest.raises(ValueError):
+        d.out_shape((3, 4, 5))
+
+
+def test_memctrl_flags():
+    assert Conv2D("c").needs_memctrl
+    assert MaxPool2D("p").needs_memctrl
+    assert Dense("d").needs_memctrl
+    assert not ReLU("r").needs_memctrl
+    assert not Flatten("f").needs_memctrl
+
+
+# -- DFG --------------------------------------------------------------------
+
+
+def _chain() -> DFG:
+    return DFG.sequential(
+        "net",
+        [
+            Input("in", shape=(1, 12, 12)),
+            Conv2D("c1", filters=2, kernel=3),
+            MaxPool2D("p1", size=2),
+            ReLU("r1"),
+            Flatten("fl"),
+            Dense("d1", units=4),
+        ],
+    )
+
+
+def test_shapes_inferred_through_chain():
+    dfg = _chain()
+    assert dfg.nodes["c1"].out_shape == (2, 10, 10)
+    assert dfg.nodes["p1"].out_shape == (2, 5, 5)
+    assert dfg.nodes["fl"].out_shape == (50,)
+    assert dfg.nodes["d1"].out_shape == (4,)
+
+
+def test_bfs_order_linear():
+    dfg = _chain()
+    assert dfg.bfs() == ["in", "c1", "p1", "r1", "fl", "d1"]
+
+
+def test_bfs_waits_for_all_preds():
+    dfg = DFG("dag")
+    dfg.add_node(Input("in", shape=(1, 8, 8)))
+    dfg.add_node(Conv2D("a", filters=2, kernel=3, padding="same"))
+    dfg.add_node(Conv2D("b", filters=2, kernel=3, padding="same"))
+    dfg.add_node(ReLU("join"))
+    dfg.add_edge("in", "a")
+    dfg.add_edge("in", "b")
+    dfg.add_edge("a", "join")
+    dfg.add_edge("b", "join")
+    order = dfg.bfs()
+    assert order.index("join") > max(order.index("a"), order.index("b"))
+
+
+def test_cycle_detected():
+    dfg = DFG("cyclic")
+    dfg.add_node(Input("in", shape=(1, 4, 4)))
+    dfg.add_node(ReLU("a"))
+    dfg.add_node(ReLU("b"))
+    dfg.add_edge("in", "a")
+    dfg.add_edge("a", "b")
+    dfg.add_edge("b", "a")
+    with pytest.raises(ValueError, match="cycle"):
+        dfg.topo_order()
+
+
+def test_duplicate_node_and_edge_rejected():
+    dfg = DFG("dup")
+    dfg.add_node(Input("in", shape=(1, 4, 4)))
+    with pytest.raises(ValueError):
+        dfg.add_node(Input("in", shape=(1, 4, 4)))
+    dfg.add_node(ReLU("r"))
+    dfg.add_edge("in", "r")
+    with pytest.raises(ValueError):
+        dfg.add_edge("in", "r")
+
+
+def test_root_must_be_input():
+    dfg = DFG("bad")
+    dfg.add_node(ReLU("r"))
+    with pytest.raises(ValueError, match="Input"):
+        dfg.infer_shapes()
+
+
+# -- component grouping -------------------------------------------------------
+
+
+def test_layer_grouping_fuses_relu_and_flatten():
+    comps = group_components(_chain(), "layer")
+    kinds = [c.kind for c in comps]
+    assert kinds == ["conv", "pool_relu_flatten", "fc"]
+    assert comps[1].nodes == ["p1", "r1", "fl"]
+
+
+def test_grouping_signatures_enable_reuse():
+    dfg = DFG.sequential(
+        "twins",
+        [
+            Input("in", shape=(2, 12, 12)),
+            Conv2D("c1", filters=2, kernel=3, padding="same"),
+            ReLU("r1"),
+            Conv2D("c2", filters=2, kernel=3, padding="same"),
+            ReLU("r2"),
+        ],
+    )
+    comps = group_components(dfg, "layer")
+    assert len(comps) == 2
+    assert comps[0].signature == comps[1].signature
+
+
+def test_block_grouping_merges_conv_stacks():
+    dfg = DFG.sequential(
+        "blocky",
+        [
+            Input("in", shape=(1, 16, 16)),
+            Conv2D("c1", filters=2, kernel=3, padding="same"),
+            ReLU("r1"),
+            Conv2D("c2", filters=2, kernel=3, padding="same"),
+            ReLU("r2"),
+            MaxPool2D("p1", size=2),
+            Flatten("fl"),
+            Dense("d1", units=4),
+        ],
+    )
+    comps = group_components(dfg, "block")
+    assert comps[0].kind == "conv_block"
+    assert set(comps[0].nodes) >= {"c1", "c2"}
+
+
+def test_grouping_rejects_branches():
+    dfg = DFG("branchy")
+    dfg.add_node(Input("in", shape=(1, 8, 8)))
+    dfg.add_node(ReLU("a"))
+    dfg.add_node(ReLU("b"))
+    dfg.add_edge("in", "a")
+    dfg.add_edge("in", "b")
+    dfg.infer_shapes()
+    with pytest.raises(ValueError, match="linear chains"):
+        group_components(dfg)
+
+
+def test_unknown_granularity():
+    with pytest.raises(ValueError, match="granularity"):
+        group_components(_chain(), "molecule")
+
+
+def test_component_workload_totals():
+    comps = group_components(_chain(), "layer")
+    conv = comps[0]
+    assert conv.macs == 2 * 3 * 3 * 10 * 10
+    assert conv.weights == 2 * 9 + 2

@@ -1,0 +1,55 @@
+"""Stock models reproduce paper Table I exactly."""
+
+import pytest
+
+from repro.cnn import get_model, lenet5, lenet5_caffe, vgg16
+
+
+def test_lenet5_classic_structure():
+    net = lenet5()
+    totals = net.totals()
+    assert totals["conv_layers"] == 2
+    assert totals["fc_layers"] == 2
+    # classic LeNet-5 conv params (matches the paper's Sec. V-E narrative)
+    assert net.nodes["conv1"].n_weights() == 156
+    assert net.nodes["conv2"].n_weights() == 2416
+
+
+def test_lenet5_caffe_matches_table1():
+    """Paper Table I (LeNet-5 column): 26 K conv weights, 1.9 M conv MACs,
+    406 K FC weights, 405 K FC MACs, 431 K total weights, 2.3 M total MACs."""
+    totals = lenet5_caffe().totals()
+    assert totals["conv_weights"] == pytest.approx(26_000, rel=0.05)
+    assert totals["conv_macs"] == pytest.approx(1.9e6, rel=0.05)
+    assert totals["fc_weights"] == pytest.approx(406_000, rel=0.05)
+    assert totals["fc_macs"] == pytest.approx(405_000, rel=0.05)
+    assert totals["total_weights"] == pytest.approx(431_000, rel=0.05)
+    assert totals["total_macs"] == pytest.approx(2.3e6, rel=0.05)
+
+
+def test_vgg16_matches_table1():
+    """Paper Table I (VGG-16 column): 14.7 M conv weights, 15.3 G conv MACs,
+    124 M FC weights, 124 M FC MACs, 138 M total weights, 15.5 G total MACs."""
+    totals = vgg16().totals()
+    assert totals["conv_layers"] == 13
+    assert totals["fc_layers"] == 3
+    assert totals["conv_weights"] == pytest.approx(14.7e6, rel=0.02)
+    assert totals["conv_macs"] == pytest.approx(15.3e9, rel=0.02)
+    assert totals["fc_weights"] == pytest.approx(124e6, rel=0.02)
+    assert totals["fc_macs"] == pytest.approx(124e6, rel=0.02)
+    assert totals["total_weights"] == pytest.approx(138e6, rel=0.02)
+    assert totals["total_macs"] == pytest.approx(15.5e9, rel=0.02)
+
+
+def test_vgg16_block_structure():
+    net = vgg16()
+    # 5 max-pool stages, input 224 -> 7 before flatten
+    assert net.nodes["pool5"].out_shape == (512, 7, 7)
+    assert net.nodes["flatten"].out_shape == (25088,)
+    assert net.nodes["fc3"].out_shape == (1000,)
+
+
+def test_catalog_lookup():
+    assert get_model("lenet5").name == "lenet5"
+    with pytest.raises(KeyError, match="unknown model"):
+        get_model("resnet9000")

@@ -1,0 +1,85 @@
+"""Architecture-definition parsing and rendering."""
+
+import pytest
+
+from repro.cnn import ParseError, lenet5, parse_architecture, render_architecture
+
+LENET_TEXT = """
+# LeNet-5 classic
+network lenet5
+input name=input channels=1 height=32 width=32
+conv name=conv1 filters=6 kernel=5 stride=1 padding=valid
+maxpool name=pool1 size=2
+relu name=relu1
+conv name=conv2 filters=16 kernel=5
+maxpool name=pool2 size=2
+relu name=relu2
+flatten name=flatten
+dense name=fc1 units=120
+dense name=fc2 units=10
+"""
+
+
+def test_parse_lenet_matches_model():
+    parsed = parse_architecture(LENET_TEXT)
+    stock = lenet5()
+    assert parsed.name == stock.name
+    assert set(parsed.nodes) == set(stock.nodes)
+    for name in stock.nodes:
+        assert parsed.nodes[name].out_shape == stock.nodes[name].out_shape
+
+
+def test_render_roundtrip():
+    stock = lenet5()
+    text = render_architecture(stock)
+    again = parse_architecture(text)
+    assert [n for n in again.bfs()] == [n for n in stock.bfs()]
+    assert again.totals() == stock.totals()
+
+
+def test_comments_and_blanks_ignored():
+    dfg = parse_architecture(
+        "network n\n\n# a comment\ninput channels=1 height=8 width=8  # trailing\nrelu\n"
+    )
+    assert len(dfg.nodes) == 2
+
+
+def test_auto_names():
+    dfg = parse_architecture("input channels=1 height=8 width=8\nrelu\nrelu\n")
+    names = list(dfg.nodes)
+    assert len(set(names)) == 3
+
+
+def test_after_builds_dag():
+    text = (
+        "input name=in channels=1 height=8 width=8\n"
+        "relu name=a\n"
+        "relu name=b after=in\n"
+    )
+    dfg = parse_architecture(text)
+    assert set(dfg.adj["in"]) == {"a", "b"}
+
+
+def test_errors_have_line_numbers():
+    with pytest.raises(ParseError, match="line 2"):
+        parse_architecture("network x\nconv filters=not_a_number kernel=3\n")
+
+
+@pytest.mark.parametrize(
+    "text,match",
+    [
+        ("frobnicate foo=1\n", "unknown directive"),
+        ("input channels=1 height=8\n", "missing required key"),
+        ("input channels=1 height=8 width=8 width=9\n", "duplicate key"),
+        ("input channels=1 height=8 width=8 bogus=1\n", "unknown keys"),
+        ("input channels=1 height=8 width=8\nconv name=c kernel=3\n", "missing required key"),
+        ("", "empty architecture"),
+        ("network a b\n", "exactly one name"),
+        ("input channels=1 height=8 width=8\nrelu after=ghost\n", "unknown predecessor"),
+        ("input channels=1 height=8 width=8\nconv filters=2 kernel=3 padding=diag\n", "bad padding"),
+        ("input channels=1 height=8 width=8\nrelu notkv\n", "expected key=value"),
+    ],
+)
+def test_malformed_inputs(text, match):
+    with pytest.raises(ParseError, match=match):
+        parse_architecture(text)

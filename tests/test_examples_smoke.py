@@ -1,0 +1,48 @@
+"""Smoke-run the lightweight example scripts end to end.
+
+The VGG walkthrough is exercised by the benchmark harness instead (it
+takes minutes); the other examples must always run clean — they are the
+documentation users copy from.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart_example():
+    out = _run("quickstart.py")
+    assert "OOC conv engine" in out
+    assert "productivity" in out
+    assert "slowest component bound" in out
+
+
+def test_custom_cnn_example():
+    out = _run("custom_cnn.py")
+    assert "reuses" in out            # checkpoint reuse detected
+    assert "accelerator:" in out
+    assert "golden model" in out
+
+
+def test_lenet_example():
+    out = _run("lenet_accelerator.py")
+    assert "LeNet-5 performance exploration" in out
+    assert "our work (stitched)" in out
+    assert "functional check" in out
+    # fixed-16 must agree with float on the classification decision
+    assert "argmax float=8 fixed16=8" in out

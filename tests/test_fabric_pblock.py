@@ -1,0 +1,107 @@
+"""PBlocks: geometry, resources, auto-floorplanning."""
+
+import pytest
+
+from repro.fabric import PBlock, TileType, auto_pblock
+
+
+def test_geometry_basics():
+    p = PBlock(2, 3, 5, 7)
+    assert p.width == 4
+    assert p.height == 5
+    assert p.area == 20
+    assert p.center == (3.5, 5.0)
+    assert p.contains(2, 3) and p.contains(5, 7)
+    assert not p.contains(6, 3) and not p.contains(2, 8)
+
+
+def test_degenerate_pblock_rejected():
+    with pytest.raises(ValueError):
+        PBlock(5, 0, 2, 0)
+    with pytest.raises(ValueError):
+        PBlock(-1, 0, 2, 3)
+
+
+def test_overlap_and_area():
+    a = PBlock(0, 0, 4, 4)
+    b = PBlock(3, 3, 6, 6)
+    c = PBlock(5, 5, 8, 8)
+    assert a.overlaps(b) and b.overlaps(a)
+    assert not a.overlaps(c)
+    assert a.overlap_area(b) == 4  # 2x2 corner
+    assert a.overlap_area(c) == 0
+    assert a.overlap_area(a) == a.area
+
+
+def test_contains_pblock():
+    outer = PBlock(0, 0, 9, 9)
+    inner = PBlock(2, 2, 5, 5)
+    assert outer.contains_pblock(inner)
+    assert not inner.contains_pblock(outer)
+
+
+def test_shift():
+    p = PBlock(1, 1, 3, 3).shifted(2, 5)
+    assert (p.col0, p.row0, p.col1, p.row1) == (3, 6, 5, 8)
+
+
+def test_resources_counts_columns(tiny_device):
+    p = PBlock(0, 0, tiny_device.ncols - 1, tiny_device.nrows - 1)
+    res = p.resources(tiny_device)
+    assert res["SLICE"] == tiny_device.resource_totals["SLICE"]
+    assert res["DSP48E2"] == tiny_device.resource_totals["DSP48E2"]
+
+
+def test_resources_out_of_device(tiny_device):
+    p = PBlock(0, 0, tiny_device.ncols + 5, 2)
+    with pytest.raises(ValueError):
+        p.resources(tiny_device)
+
+
+def test_sites_of_inside_pblock(tiny_device):
+    p = PBlock(0, 0, 4, 5)
+    sites = p.sites_of(tiny_device, "SLICE")
+    assert sites
+    for col, row in sites:
+        assert p.contains(col, row)
+        assert tiny_device.tile_type(col) == TileType.CLB
+
+
+def test_auto_pblock_satisfies_need(tiny_device):
+    need = {"SLICE": 30, "DSP48E2": 2, "RAMB36": 1}
+    p = auto_pblock(tiny_device, need, anchor=(0, 0))
+    assert p.satisfies(tiny_device, need)
+
+
+def test_auto_pblock_grows_taller_when_needed(small_device):
+    # more slices than one clock-region-high strip can offer
+    cr = small_device.part.clock_region_rows
+    per_strip = sum(
+        cr for col in range(small_device.ncols)
+        if small_device.tile_type(col) == TileType.CLB
+    )
+    need = {"SLICE": per_strip + 10}
+    p = auto_pblock(small_device, need, anchor=(0, 0))
+    assert p.height > cr
+    assert p.satisfies(small_device, need)
+
+
+def test_auto_pblock_impossible(tiny_device):
+    with pytest.raises(ValueError, match="cannot fit"):
+        auto_pblock(tiny_device, {"SLICE": 10 ** 6}, anchor=(0, 0))
+
+
+def test_auto_pblock_bad_anchor(tiny_device):
+    with pytest.raises(ValueError, match="anchor"):
+        auto_pblock(tiny_device, {"SLICE": 1}, anchor=(-1, 0))
+
+
+def test_auto_pblock_empty_need(tiny_device):
+    p = auto_pblock(tiny_device, {}, anchor=(2, 2))
+    assert p.area == 1
+
+
+def test_column_signature_roundtrip(tiny_device):
+    p = auto_pblock(tiny_device, {"SLICE": 10, "DSP48E2": 1}, anchor=(0, 0))
+    sig = p.column_signature(tiny_device)
+    assert len(sig) == p.width

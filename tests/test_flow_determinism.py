@@ -1,0 +1,82 @@
+"""Cross-flow determinism and seed sensitivity.
+
+The library's contract: a flow run is a pure function of
+``(design, seed)``.  These tests pin that down for both flows and for the
+OOC/database path, and check that *different* seeds actually explore
+different implementations (otherwise the exploration extension would be
+pointless).
+"""
+
+import pytest
+
+from repro.rapidwright import ComponentDatabase, PreImplementedFlow
+from repro.vivado import VivadoFlow
+from tests.conftest import make_tiny_cnn
+
+
+def _placements(design):
+    return {name: cell.placement for name, cell in design.cells.items()}
+
+
+def _routes(design):
+    return {
+        name: net.routes for name, net in design.nets.items() if not net.is_clock
+    }
+
+
+def test_baseline_flow_deterministic(small_device):
+    a = VivadoFlow(small_device, effort="low", seed=11).run(make_tiny_cnn())
+    b = VivadoFlow(small_device, effort="low", seed=11).run(make_tiny_cnn())
+    assert a.fmax_mhz == pytest.approx(b.fmax_mhz)
+    assert _placements(a.design) == _placements(b.design)
+    assert _routes(a.design) == _routes(b.design)
+    assert a.power.total_w == pytest.approx(b.power.total_w)
+
+
+def test_baseline_flow_seed_sensitive(small_device):
+    a = VivadoFlow(small_device, effort="low", seed=1).run(make_tiny_cnn())
+    b = VivadoFlow(small_device, effort="low", seed=2).run(make_tiny_cnn())
+    assert _placements(a.design) != _placements(b.design)
+
+
+def test_preimplemented_flow_deterministic(small_device):
+    results = []
+    for _ in range(2):
+        flow = PreImplementedFlow(small_device, component_effort="low", seed=5)
+        db, _ = flow.build_database(make_tiny_cnn())
+        results.append(flow.run(make_tiny_cnn(), database=db))
+    a, b = results
+    assert a.fmax_mhz == pytest.approx(b.fmax_mhz)
+    assert _placements(a.design) == _placements(b.design)
+    anchors_a = [r.anchor for r in a.extras["stitch"].records]
+    anchors_b = [r.anchor for r in b.extras["stitch"].records]
+    assert anchors_a == anchors_b
+
+
+def test_database_checkpoints_independent_of_consumer(small_device):
+    """Two flows sharing one database must not perturb each other: the
+    checkpoint copies handed out are isolated."""
+    flow = PreImplementedFlow(small_device, component_effort="low", seed=3)
+    db, _ = flow.build_database(make_tiny_cnn())
+    first = flow.run(make_tiny_cnn(), database=db)
+    # mutate the first result's design aggressively
+    for cell in first.design.cells.values():
+        cell.placement = (0, 0)
+    second = flow.run(make_tiny_cnn(), database=db)
+    assert second.design.validate(small_device) is None  # still legal
+    assert second.fmax_mhz > 0
+
+
+def test_checkpoint_database_round_trip_preserves_fmax(small_device, tmp_path):
+    flow = PreImplementedFlow(small_device, component_effort="low", seed=0)
+    db, _ = flow.build_database(make_tiny_cnn())
+    disk = ComponentDatabase(small_device, directory=tmp_path / "lib")
+    for key, record in db.records.items():
+        disk.records[key] = record
+        from repro.netlist import design_from_dict, save_checkpoint
+
+        save_checkpoint(design_from_dict(record.payload), tmp_path / "lib" / f"{key}.dcpz")
+    fresh = ComponentDatabase(small_device, directory=tmp_path / "lib")
+    fresh.load_directory()
+    for key in db.records:
+        assert fresh.records[key].fmax_mhz == pytest.approx(db.records[key].fmax_mhz)

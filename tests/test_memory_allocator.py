@@ -1,0 +1,121 @@
+"""Best-fit-with-coalescing allocator: unit and property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cnn import lenet5, vgg16
+from repro.memory import AllocationError, BestFitAllocator, plan_feature_maps
+
+KB = 1024
+
+
+def test_alloc_free_roundtrip():
+    a = BestFitAllocator(64 * KB)
+    base = a.alloc(1000)
+    assert base == 0
+    assert a.used_bytes == 1024  # rounded to alignment
+    a.free(base)
+    assert a.used_bytes == 0
+    a.check_invariants()
+
+
+def test_alignment():
+    a = BestFitAllocator(64 * KB, alignment=64)
+    b1 = a.alloc(1)
+    b2 = a.alloc(1)
+    assert b1 % 64 == 0 and b2 % 64 == 0 and b2 - b1 == 64
+    with pytest.raises(ValueError):
+        BestFitAllocator(64, alignment=3)
+
+
+def test_best_fit_chooses_smallest_hole():
+    a = BestFitAllocator(64 * KB, alignment=1)
+    blocks = [a.alloc(8 * KB) for _ in range(8)]
+    # free two holes: 8 KB and 16 KB
+    a.free(blocks[1])
+    a.free(blocks[4])
+    a.free(blocks[5])  # coalesces with blocks[4] -> 16 KB hole
+    got = a.alloc(8 * KB)
+    assert got == blocks[1]  # best fit = exact 8 KB hole, not the 16 KB one
+
+
+def test_coalescing_both_sides():
+    a = BestFitAllocator(32 * KB, alignment=1)
+    b1 = a.alloc(8 * KB)
+    b2 = a.alloc(8 * KB)
+    b3 = a.alloc(8 * KB)
+    a.free(b1)
+    a.free(b3)
+    a.free(b2)  # middle free must merge with both neighbours
+    a.check_invariants()
+    assert len(a.blocks()) == 1
+    assert a.largest_free() == 32 * KB
+
+
+def test_exhaustion_and_fragmentation():
+    a = BestFitAllocator(32 * KB, alignment=1)
+    blocks = [a.alloc(4 * KB) for _ in range(8)]
+    for b in blocks[::2]:
+        a.free(b)
+    # 16 KB free but fragmented into 4 KB holes
+    assert a.free_bytes == 16 * KB
+    assert a.largest_free() == 4 * KB
+    assert a.fragmentation() == pytest.approx(0.75)
+    with pytest.raises(AllocationError, match="cannot allocate"):
+        a.alloc(8 * KB)
+
+
+def test_invalid_operations():
+    a = BestFitAllocator(KB)
+    with pytest.raises(ValueError):
+        a.alloc(0)
+    with pytest.raises(AllocationError):
+        a.free(123)
+    base = a.alloc(16)
+    a.free(base)
+    with pytest.raises(AllocationError):
+        a.free(base)  # double free
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(1, 4096)), min_size=1, max_size=120))
+def test_allocator_invariants_hold_under_random_workload(ops):
+    """Invariants: full arena coverage, sorted bases, maximal coalescing,
+    accounting consistency — under any alloc/free interleaving."""
+    a = BestFitAllocator(256 * KB, alignment=64)
+    live: list[int] = []
+    for is_alloc, size in ops:
+        if is_alloc or not live:
+            try:
+                live.append(a.alloc(size))
+            except AllocationError:
+                pass
+        else:
+            a.free(live.pop(size % len(live)))
+        a.check_invariants()
+        assert a.used_bytes + a.free_bytes == a.capacity
+    for base in live:
+        a.free(base)
+    a.check_invariants()
+    assert a.used_bytes == 0
+    assert len(a.blocks()) == 1
+
+
+def test_plan_feature_maps_lenet():
+    stats = plan_feature_maps(lenet5(), capacity=16 * 1024 * 1024)
+    assert stats["allocs"] == stats["frees"] + 1  # final output still live
+    assert stats["peak_bytes"] > 0
+    # peak is a few concurrent feature maps, far below total traffic
+    assert stats["peak_bytes"] < stats["traffic_bytes"]
+
+
+def test_plan_feature_maps_vgg_fits_typical_dram():
+    stats = plan_feature_maps(vgg16(), capacity=512 * 1024 * 1024)
+    # largest VGG activations: 64x224x224 and its conv partner, fixed-16
+    assert stats["peak_bytes"] >= 2 * 64 * 224 * 224 * 2
+    assert stats["final_fragmentation"] < 1.0
+
+
+def test_plan_feature_maps_capacity_exceeded():
+    with pytest.raises(AllocationError):
+        plan_feature_maps(vgg16(), capacity=1024)

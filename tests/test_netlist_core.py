@@ -1,0 +1,194 @@
+"""Cells, nets, ports, and the Design container."""
+
+import pytest
+
+from repro.netlist import CELL_LIBRARY, Cell, Design, DesignError, Net, Port, cell_type
+
+
+# -- cells --------------------------------------------------------------
+
+
+def test_cell_validates_type():
+    with pytest.raises(KeyError):
+        Cell("x", "NOT_A_TYPE")
+
+
+def test_cell_resource_capacity():
+    with pytest.raises(ValueError, match="LUTs exceeds"):
+        Cell("x", "SLICE", luts=9)
+    with pytest.raises(ValueError, match="FFs exceeds"):
+        Cell("x", "SLICE", ffs=17)
+    with pytest.raises(ValueError, match="comb_depth"):
+        Cell("x", "SLICE", comb_depth=0)
+
+
+def test_cell_resources_slice_vs_dsp():
+    s = Cell("s", "SLICE", luts=5, ffs=3)
+    assert s.resources() == {"LUT": 5, "FF": 3, "SLICE": 1}
+    d = Cell("d", "DSP48E2")
+    assert d.resources()["DSP48E2"] == 1
+
+
+def test_cell_logic_delay_scales_with_depth():
+    shallow = Cell("a", "SLICE", comb_depth=1)
+    deep = Cell("b", "SLICE", comb_depth=4)
+    spec = cell_type("SLICE")
+    assert deep.logic_delay_ps() - shallow.logic_delay_ps() == pytest.approx(
+        3 * spec.depth_delay_ps
+    )
+
+
+def test_cell_clone_preserves_state():
+    c = Cell("a", "SLICE", placement=(1, 2), locked=True, luts=4, ffs=2, comb_depth=3)
+    k = c.clone(name="b", module="m")
+    assert k.name == "b" and k.module == "m"
+    assert k.placement == (1, 2) and k.locked and k.comb_depth == 3
+
+
+def test_library_types_cover_sites():
+    assert {"SLICE", "DSP48E2", "RAMB36", "URAM288"} <= set(CELL_LIBRARY)
+
+
+# -- nets ----------------------------------------------------------------
+
+
+def test_net_basics():
+    n = Net("n", "a", ["b", "c"], width=16)
+    assert n.n_pins == 3
+    assert not n.is_routed
+    n.routes = [[1, 2], [1, 3]]
+    assert n.is_routed
+
+
+def test_net_width_validation():
+    with pytest.raises(ValueError):
+        Net("n", "a", width=0)
+
+
+def test_net_locked_riprotection():
+    n = Net("n", "a", ["b"], locked=True)
+    n.routes = [[1, 2]]
+    with pytest.raises(PermissionError):
+        n.clear_routes()
+
+
+def test_net_clone_renames_endpoints():
+    n = Net("n", "a", ["b"], width=4)
+    n.routes = [[7, 8]]
+    k = n.clone(name="m", rename=lambda s: f"p/{s}")
+    assert k.driver == "p/a" and k.sinks == ["p/b"]
+    assert k.routes == [[7, 8]]
+    assert k.routes[0] is not n.routes[0]  # deep-copied
+
+
+def test_port_validation():
+    with pytest.raises(ValueError, match="direction"):
+        Port("p", "sideways", "n")
+    with pytest.raises(ValueError, match="protocol"):
+        Port("p", "in", "n", protocol="smoke-signals")
+
+
+# -- design ---------------------------------------------------------------
+
+
+def _mini_design() -> Design:
+    d = Design("mini")
+    d.new_cell("a", "SLICE", luts=2, ffs=2)
+    d.new_cell("b", "SLICE", luts=1, ffs=1)
+    d.new_cell("m", "DSP48E2")
+    d.connect("n1", "a", ["b"])
+    d.connect("n2", "b", ["m"])
+    return d
+
+
+def test_duplicate_cell_and_net_rejected():
+    d = _mini_design()
+    with pytest.raises(DesignError):
+        d.new_cell("a", "SLICE")
+    with pytest.raises(DesignError):
+        d.connect("n1", "a", ["b"])
+
+
+def test_port_requires_existing_net():
+    d = _mini_design()
+    with pytest.raises(DesignError):
+        d.add_port(Port("p", "in", "ghost_net"))
+
+
+def test_resource_usage_sums():
+    d = _mini_design()
+    usage = d.resource_usage()
+    assert usage["LUT"] == 3 and usage["FF"] == 3
+    assert usage["SLICE"] == 2 and usage["DSP48E2"] == 1
+
+
+def test_validate_catches_unknown_endpoints():
+    d = _mini_design()
+    d.connect("bad", "ghost", ["a"])
+    with pytest.raises(DesignError, match="unknown cell"):
+        d.validate()
+
+
+def test_validate_catches_driverless_net():
+    d = _mini_design()
+    d.connect("floaty", None, ["a"])
+    with pytest.raises(DesignError, match="no driver"):
+        d.validate()
+
+
+def test_validate_accepts_input_port_net():
+    d = _mini_design()
+    d.connect("inp", None, ["a"])
+    d.add_port(Port("in_data", "in", "inp"))
+    d.validate()
+
+
+def test_validate_placement_rules(tiny_device):
+    d = _mini_design()
+    from repro.fabric import TileType
+
+    clb = int(tiny_device.columns_of(TileType.CLB)[0])
+    dsp = int(tiny_device.columns_of(TileType.DSP)[0])
+    d.cells["a"].placement = (clb, 0)
+    d.cells["b"].placement = (clb, 1)
+    d.cells["m"].placement = (dsp, 0)
+    d.validate(tiny_device)
+    # wrong tile type
+    d.cells["m"].placement = (clb, 2)
+    with pytest.raises(DesignError, match="wrong tile type"):
+        d.validate(tiny_device)
+    # double booking
+    d.cells["m"].placement = (dsp, 0)
+    d.cells["b"].placement = (clb, 0)
+    with pytest.raises(DesignError, match="double-booked"):
+        d.validate(tiny_device)
+
+
+def test_instantiate_prefixes_and_tags():
+    top = Design("top")
+    sub = _mini_design()
+    sub.connect("pout", "m", [])
+    sub.add_port(Port("out_data", "out", "pout"))
+    portmap = top.instantiate(sub, prefix="u0", module="u0")
+    assert "u0/a" in top.cells and "u0/n1" in top.nets
+    assert top.cells["u0/a"].module == "u0"
+    assert portmap["out_data"] == "u0/pout"
+
+
+def test_bounding_box_and_lock(tiny_device):
+    d = _mini_design()
+    assert d.bounding_box() is None
+    from repro.fabric import TileType
+
+    clb = int(tiny_device.columns_of(TileType.CLB)[0])
+    for i, c in enumerate(d.cells.values()):
+        c.placement = (clb, i)
+    bb = d.bounding_box()
+    assert bb.contains(clb, 0) and bb.contains(clb, 2)
+    d.lock_all()
+    assert all(c.locked for c in d.cells.values())
+
+
+def test_stats_shape():
+    stats = _mini_design().stats()
+    assert stats["cells"] == 3 and stats["nets"] == 2

@@ -1,0 +1,174 @@
+"""Placement engines: problem extraction, global, legalize, anneal, facade."""
+
+import numpy as np
+import pytest
+
+from repro._util import make_rng
+from repro.fabric import PBlock, TileType, auto_pblock
+from repro.netlist import Design, DesignError
+from repro.place import (
+    PlacementProblem,
+    anneal,
+    congestion_map,
+    congestion_overflow,
+    global_place,
+    legalize,
+    net_hpwl,
+    place_design,
+    total_hpwl,
+)
+from repro.place.problem import NetPins
+from repro.synth import gen_conv, gen_relu
+
+
+def _chain_design(n=20) -> Design:
+    d = Design("chain")
+    for i in range(n):
+        d.new_cell(f"c{i}", "SLICE", luts=1, ffs=1)
+    for i in range(n - 1):
+        d.connect(f"n{i}", f"c{i}", [f"c{i+1}"])
+    return d
+
+
+# -- problem extraction --------------------------------------------------------
+
+
+def test_problem_extraction_counts(tiny_device):
+    d = _chain_design(10)
+    p = PlacementProblem.from_design(d, tiny_device)
+    assert p.n_movable == 10
+    assert len(p.nets) == 9
+    assert p.site_pools["SLICE"].shape[0] >= 10
+
+
+def test_problem_locked_cells_become_fixed_pins(tiny_device):
+    d = _chain_design(4)
+    clb = int(tiny_device.columns_of(TileType.CLB)[0])
+    d.cells["c0"].placement = (clb, 0)
+    d.cells["c0"].locked = True
+    p = PlacementProblem.from_design(d, tiny_device)
+    assert p.n_movable == 3
+    first_net = [n for n in p.nets if n.fixed.size][0]
+    assert (first_net.fixed == [[clb, 0]]).all()
+    # the locked site is excluded from the pool
+    assert not any((s == [clb, 0]).all() for s in p.site_pools["SLICE"])
+
+
+def test_problem_locked_unplaced_rejected(tiny_device):
+    d = _chain_design(2)
+    d.cells["c0"].locked = True
+    with pytest.raises(DesignError, match="unplaced"):
+        PlacementProblem.from_design(d, tiny_device)
+
+
+def test_problem_insufficient_sites(tiny_device):
+    d = _chain_design(5)
+    with pytest.raises(DesignError, match="not enough"):
+        PlacementProblem.from_design(d, tiny_device, region=PBlock(0, 0, 0, 1))
+
+
+# -- cost functions --------------------------------------------------------------
+
+
+def test_hpwl_simple():
+    net = NetPins(movable=np.array([0, 1]), fixed=np.zeros((0, 2)), weight=1.0)
+    pos = np.array([[0.0, 0.0], [3.0, 4.0]])
+    assert net_hpwl(pos, net) == 7.0
+    assert total_hpwl(pos, [net, net]) == 14.0
+
+
+def test_hpwl_with_fixed_and_weight():
+    net = NetPins(movable=np.array([0]), fixed=np.array([[10.0, 0.0]]), weight=2.0)
+    pos = np.array([[0.0, 0.0]])
+    assert net_hpwl(pos, net) == 20.0
+
+
+def test_congestion_overflow_detects_pileup():
+    spread = np.array([[float(i * 6), float(i * 6)] for i in range(16)])
+    piled = np.zeros((16, 2))
+    bounds = (0, 0, 95, 95)
+    assert congestion_overflow(piled, bounds) > congestion_overflow(spread, bounds)
+    grid = congestion_map(piled, bounds)
+    assert grid.sum() == 16 and grid.max() == 16
+
+
+# -- global / legalize / anneal ---------------------------------------------------
+
+
+def test_global_place_pulls_connected_cells_together(tiny_device):
+    d = _chain_design(30)
+    p = PlacementProblem.from_design(d, tiny_device)
+    rng = make_rng(0)
+    pos = global_place(p, rng, iters=40)
+    # consecutive chain cells should be much closer than random pairs
+    consecutive = np.abs(pos[:-1] - pos[1:]).sum(axis=1).mean()
+    rng2 = make_rng(1)
+    perm = rng2.permutation(30)
+    random_pairs = np.abs(pos[perm[:-1]] - pos[perm[1:]]).sum(axis=1).mean()
+    assert consecutive < random_pairs
+
+
+def test_legalize_produces_distinct_legal_sites(tiny_device):
+    d = _chain_design(25)
+    p = PlacementProblem.from_design(d, tiny_device)
+    pos = global_place(p, make_rng(0), iters=10)
+    sites = legalize(p, pos)
+    seen = set(map(tuple, sites.tolist()))
+    assert len(seen) == 25
+    for col, row in sites:
+        assert tiny_device.tile_type(int(col)) == TileType.CLB
+
+
+def test_anneal_improves_or_holds(tiny_device):
+    d = _chain_design(30)
+    p = PlacementProblem.from_design(d, tiny_device)
+    pos = global_place(p, make_rng(0), iters=5)
+    sites = legalize(p, pos)
+    stats = anneal(p, sites, seed=0, moves_per_cell=80)
+    assert stats.final_cost <= stats.initial_cost * 1.01
+    # sites remain distinct and legal after annealing
+    assert len(set(map(tuple, sites.tolist()))) == 30
+
+
+# -- facade ------------------------------------------------------------------------
+
+
+def test_place_design_end_to_end(tiny_device):
+    d = gen_relu(8)
+    res = place_design(d, tiny_device, effort="low", seed=0)
+    assert res.n_cells == len(d.cells)
+    d.validate(tiny_device)
+    assert d.is_fully_placed
+
+
+def test_place_design_respects_pblock(small_device):
+    d = gen_conv(1, 8, 8, 3, 2, rom_weights=True)
+    pb = auto_pblock(small_device, d.site_demand(), anchor=(0, 0))
+    d.pblock = pb
+    place_design(d, small_device, effort="low", seed=0)
+    for cell in d.cells.values():
+        assert pb.contains(*cell.placement)
+    d.validate(small_device)
+
+
+def test_place_design_unknown_effort(tiny_device):
+    with pytest.raises(KeyError, match="unknown effort"):
+        place_design(_chain_design(2), tiny_device, effort="ludicrous")
+
+
+def test_place_design_deterministic(tiny_device):
+    d1, d2 = _chain_design(15), _chain_design(15)
+    place_design(d1, tiny_device, effort="low", seed=7)
+    place_design(d2, tiny_device, effort="low", seed=7)
+    assert [c.placement for c in d1.cells.values()] == [
+        c.placement for c in d2.cells.values()
+    ]
+
+
+def test_place_design_seed_changes_result(tiny_device):
+    d1, d2 = _chain_design(15), _chain_design(15)
+    place_design(d1, tiny_device, effort="low", seed=1)
+    place_design(d2, tiny_device, effort="low", seed=2)
+    assert [c.placement for c in d1.cells.values()] != [
+        c.placement for c in d2.cells.values()
+    ]

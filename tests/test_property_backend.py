@@ -1,0 +1,119 @@
+"""Property tests: placer legality, router paths, STA monotonicity,
+relocation congruence (hypothesis over seeds/shapes)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro._util import make_rng
+from repro.fabric import Device, RoutingGraph, TileType
+from repro.netlist import Design
+from repro.place import PlacementProblem, global_place, legalize
+from repro.route import direct_path
+from repro.route.maze import astar_route
+from repro.timing import DelayModel, analyze
+
+DEV = Device.from_name("tiny")
+GRAPH = RoutingGraph(DEV)
+
+
+def _random_design(n_cells: int, n_nets: int, seed: int) -> Design:
+    rng = np.random.default_rng(seed)
+    d = Design(f"rand{seed}")
+    types = ["SLICE"] * 6 + ["DSP48E2", "RAMB36"]
+    for i in range(n_cells):
+        ctype = types[rng.integers(0, len(types))]
+        kwargs = {"luts": 1, "ffs": 1} if ctype == "SLICE" else {}
+        d.new_cell(f"c{i}", ctype, **kwargs)
+    for i in range(n_nets):
+        a, b = rng.integers(0, n_cells, size=2)
+        if a == b:
+            continue
+        d.connect(f"n{i}", f"c{a}", [f"c{b}"], width=int(rng.integers(1, 17)))
+    return d
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(4, 40), st.integers(2, 40), st.integers(0, 10_000))
+def test_global_place_plus_legalize_is_always_legal(n_cells, n_nets, seed):
+    design = _random_design(n_cells, n_nets, seed)
+    problem = PlacementProblem.from_design(design, DEV)
+    pos = global_place(problem, make_rng(seed), iters=8)
+    sites = legalize(problem, pos)
+    # distinct sites, correct tile types, in bounds
+    seen = set()
+    from repro.fabric.device import TILE_FOR_CELL
+
+    for i, name in enumerate(problem.names):
+        col, row = int(sites[i, 0]), int(sites[i, 1])
+        assert DEV.in_bounds(col, row)
+        assert DEV.tile_type(col) == TILE_FOR_CELL[problem.ctypes[i]]
+        assert (col, row) not in seen
+        seen.add((col, row))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, DEV.ncols * DEV.nrows - 1), st.integers(0, DEV.ncols * DEV.nrows - 1))
+def test_direct_path_valid_wire_steps(src, dst):
+    from repro.fabric.interconnect import HEX_REACH
+
+    path = direct_path(src, dst, DEV.nrows)
+    assert path[0] == src and path[-1] == dst
+    for a, b in zip(path, path[1:]):
+        (ca, ra), (cb, rb) = GRAPH.node_xy(a), GRAPH.node_xy(b)
+        step = (abs(ca - cb), abs(ra - rb))
+        assert step in {(1, 0), (0, 1), (HEX_REACH, 0), (0, HEX_REACH)}
+        assert DEV.in_bounds(cb, rb)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, DEV.ncols * DEV.nrows - 1), st.integers(0, DEV.ncols * DEV.nrows - 1))
+def test_astar_no_worse_than_direct_under_uniform_cost(src, dst):
+    cost = np.ones(GRAPH.n_nodes)
+    path = astar_route(src, dst, DEV.nrows, DEV.ncols, cost)
+    assert path is not None
+    direct = direct_path(src, dst, DEV.nrows)
+    assert sum(cost[n] for n in path[1:]) <= sum(cost[n] for n in direct[1:]) + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 8), st.floats(1.0, 3.0))
+def test_sta_monotone_in_wire_delay(span, scale):
+    clb = [int(c) for c in DEV.columns_of(TileType.CLB)]
+    d = Design("mono")
+    d.new_cell("a", "SLICE", placement=(clb[0], 0), luts=1, ffs=1)
+    d.new_cell("b", "SLICE", placement=(clb[min(span, len(clb) - 1)], 2), luts=1, ffs=1)
+    d.connect("n", "a", ["b"])
+    base = analyze(d, DEV)
+    slower = analyze(d, DEV, delays=DelayModel(tile_delay_ps=22.0 * scale))
+    assert slower.period_ps >= base.period_ps - 1e-9
+    assert slower.fmax_mhz <= base.fmax_mhz + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 1000))
+def test_relocation_congruence_random_modules(seed):
+    from repro.rapidwright import candidate_anchors, preimplement, relocate
+
+    small = Device.from_name("small")
+    rng = np.random.default_rng(seed)
+    from repro.synth import gen_relu
+
+    design = gen_relu(int(rng.integers(2, 12)))
+    preimplement(design, small, seed=seed, effort="low")
+    anchors = candidate_anchors(small, design, row_step=7)
+    target = anchors[int(rng.integers(0, len(anchors)))]
+    moved = relocate(design, small, target)
+    moved.validate(small)
+    dcol = target[0] - design.pblock.col0
+    drow = target[1] - design.pblock.row0
+    for name, cell in design.cells.items():
+        assert moved.cells[name].placement == (
+            cell.placement[0] + dcol,
+            cell.placement[1] + drow,
+        )
+    # relative geometry (and hence every intra-module wire) is unchanged
+    names = list(design.cells)
+    for a, b in zip(names, names[1:]):
+        da = np.subtract(design.cells[a].placement, design.cells[b].placement)
+        db = np.subtract(moved.cells[a].placement, moved.cells[b].placement)
+        assert (da == db).all()

@@ -1,0 +1,88 @@
+"""Property tests: fabric geometry invariants (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fabric import Device, PBlock, RoutingGraph
+
+DEV = Device.from_name("tiny")
+GRAPH = RoutingGraph(DEV)
+
+cols = st.integers(0, DEV.ncols - 1)
+rows = st.integers(0, DEV.nrows - 1)
+
+
+@given(cols, rows)
+def test_node_id_bijection(col, row):
+    node = GRAPH.node_id(col, row)
+    assert 0 <= node < GRAPH.n_nodes
+    assert GRAPH.node_xy(node) == (col, row)
+
+
+@given(cols, rows, cols, rows)
+def test_io_crossings_symmetric_and_bounded(c1, r1, c2, r2):
+    x = DEV.io_crossings(c1, c2)
+    assert x == DEV.io_crossings(c2, c1)
+    assert 0 <= x <= DEV.io_columns.shape[0]
+    assert x <= abs(c1 - c2)
+
+
+@given(cols, rows)
+def test_neighbors_are_mutual(col, row):
+    node = GRAPH.node_id(col, row)
+    for nbr, cost, span in GRAPH.neighbors(node):
+        back = {n for n, _c, _s in GRAPH.neighbors(nbr)}
+        assert node in back
+        assert cost > 0 and span >= 1
+
+
+@st.composite
+def pblocks(draw):
+    c0 = draw(st.integers(0, DEV.ncols - 1))
+    r0 = draw(st.integers(0, DEV.nrows - 1))
+    c1 = draw(st.integers(c0, DEV.ncols - 1))
+    r1 = draw(st.integers(r0, DEV.nrows - 1))
+    return PBlock(c0, r0, c1, r1)
+
+
+@given(pblocks(), pblocks())
+def test_overlap_symmetric_and_consistent(a, b):
+    assert a.overlaps(b) == b.overlaps(a)
+    assert a.overlap_area(b) == b.overlap_area(a)
+    assert (a.overlap_area(b) > 0) == a.overlaps(b)
+    assert a.overlap_area(b) <= min(a.area, b.area)
+
+
+@given(pblocks(), st.integers(-5, 5), st.integers(-5, 5))
+def test_shift_preserves_shape(p, dc, dr):
+    if p.col0 + dc < 0 or p.row0 + dr < 0:
+        return
+    q = p.shifted(dc, dr)
+    assert (q.width, q.height, q.area) == (p.width, p.height, p.area)
+
+
+@given(pblocks())
+def test_resources_match_site_enumeration(p):
+    res = p.resources(DEV)
+    for ctype in ("SLICE", "DSP48E2", "RAMB36"):
+        assert res.get(ctype, 0) == len(p.sites_of(DEV, ctype))
+
+
+@given(pblocks())
+def test_contains_iff_inside_bounds(p):
+    assert p.contains(p.col0, p.row0)
+    assert p.contains(p.col1, p.row1)
+    assert not p.contains(p.col1 + 1, p.row0)
+    assert p.contains_pblock(p)
+
+
+@settings(max_examples=30)
+@given(st.integers(1, DEV.ncols), st.integers(0, DEV.ncols - 1))
+def test_column_signature_window(width, start):
+    if start + width > DEV.ncols:
+        return
+    sig = DEV.column_signature(start, width)
+    assert len(sig) == width
+    anchors = DEV.matching_column_anchors(sig)
+    assert start in anchors
+    for a in anchors:
+        assert DEV.column_signature(a, width) == sig

@@ -1,0 +1,105 @@
+"""Module relocation: congruence, footprint compatibility, route shifting."""
+
+import pytest
+
+from repro.rapidwright import RelocationError, candidate_anchors, preimplement, relocate
+from repro.route import Router
+from repro.synth import gen_relu
+from repro.timing import analyze
+
+
+@pytest.fixture(scope="module")
+def module(small_device):
+    design = gen_relu(8)
+    preimplement(design, small_device, seed=0, effort="low")
+    return design
+
+
+def test_candidate_anchors_include_origin(small_device, module):
+    anchors = candidate_anchors(small_device, module, row_step=1)
+    assert (module.pblock.col0, module.pblock.row0) in anchors
+    # every anchor preserves the column signature
+    sig = module.pblock.column_signature(small_device)
+    for col, row in anchors:
+        assert small_device.column_signature(col, module.pblock.width) == sig
+        assert row + module.pblock.height <= small_device.nrows
+
+
+def test_relocation_is_congruent(small_device, module):
+    anchors = candidate_anchors(small_device, module, row_step=1)
+    target = next(a for a in anchors if a != (module.pblock.col0, module.pblock.row0))
+    moved = relocate(module, small_device, target)
+    dcol = target[0] - module.pblock.col0
+    drow = target[1] - module.pblock.row0
+    for name, cell in module.cells.items():
+        m = moved.cells[name]
+        assert m.placement == (cell.placement[0] + dcol, cell.placement[1] + drow)
+    moved.validate(small_device)
+
+
+def test_relocation_shifts_routes_consistently(small_device, module):
+    graph = Router(small_device).graph
+    anchors = candidate_anchors(small_device, module, row_step=1)
+    target = anchors[-1]
+    moved = relocate(module, small_device, target)
+    dcol = target[0] - module.pblock.col0
+    drow = target[1] - module.pblock.row0
+    for name, net in module.nets.items():
+        for old_path, new_path in zip(net.routes, moved.nets[name].routes):
+            if old_path is None:
+                assert new_path is None
+                continue
+            for old_node, new_node in zip(old_path, new_path):
+                oc, orow = graph.node_xy(old_node)
+                nc, nrow = graph.node_xy(new_node)
+                assert (nc - oc, nrow - orow) == (dcol, drow)
+
+
+def test_relocation_preserves_timing(small_device, module):
+    graph = Router(small_device).graph
+    before = analyze(module, small_device, graph).fmax_mhz
+    # strict anchors repeat the full column signature, so the I/O-column
+    # crossing pattern (and hence timing) is exactly preserved
+    target = candidate_anchors(small_device, module, row_step=1, strict=True)[-1]
+    moved = relocate(module, small_device, target)
+    after = analyze(moved, small_device, graph).fmax_mhz
+    assert after == pytest.approx(before, rel=1e-6)
+
+
+def test_relaxed_anchors_superset_of_strict(small_device, module):
+    strict = set(candidate_anchors(small_device, module, row_step=1, strict=True))
+    relaxed = set(candidate_anchors(small_device, module, row_step=1))
+    assert strict <= relaxed
+    assert len(relaxed) >= len(strict)
+
+
+def test_relocation_out_of_device(small_device, module):
+    with pytest.raises(RelocationError, match="leaves device"):
+        relocate(module, small_device, (0, small_device.nrows - 1))
+
+
+def test_relocation_footprint_mismatch(small_device, module):
+    bad_cols = [
+        c
+        for c in range(small_device.ncols - module.pblock.width)
+        if small_device.column_signature(c, module.pblock.width)
+        != module.pblock.column_signature(small_device)
+    ]
+    assert bad_cols, "device should contain incompatible anchor columns"
+    with pytest.raises(RelocationError, match="footprint mismatch"):
+        relocate(module, small_device, (bad_cols[0], 0))
+
+
+def test_relocation_requires_pblock(small_device):
+    bare = gen_relu(4)
+    with pytest.raises(RelocationError, match="no pblock"):
+        relocate(bare, small_device, (0, 0))
+    with pytest.raises(RelocationError, match="no pblock"):
+        candidate_anchors(small_device, bare)
+
+
+def test_relocation_is_deep_copy(small_device, module):
+    moved = relocate(module, small_device, (module.pblock.col0, module.pblock.row0))
+    a_cell = next(iter(moved.cells.values()))
+    a_cell.placement = (0, 0)
+    assert module.cells[a_cell.name].placement != (0, 0)

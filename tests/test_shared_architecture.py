@@ -1,0 +1,74 @@
+"""Shared-component (Q-CLE) architecture mode."""
+
+import pytest
+
+from repro.cnn import Conv2D, DFG, Dense, Flatten, Input, MaxPool2D, ReLU, group_components
+from repro.rapidwright import PreImplementedFlow
+
+
+def _repnet() -> DFG:
+    layers = [Input("in", shape=(2, 16, 16))]
+    for i in range(1, 4):
+        layers.append(Conv2D(f"c{i}", filters=2, kernel=3, padding="same"))
+        layers.append(ReLU(f"r{i}"))
+    layers += [MaxPool2D("p", size=2), Flatten("f"), Dense("d", units=4)]
+    return DFG.sequential("repnet", layers)
+
+
+@pytest.fixture(scope="module")
+def pair(small_device):
+    net = _repnet()
+    flow = PreImplementedFlow(small_device, component_effort="low", seed=0)
+    db, _ = flow.build_database(net)
+    replicated = flow.run(net, database=db)
+    shared = flow.run(net, database=db, share_components=True)
+    return net, replicated, shared
+
+
+def test_shared_uses_fewer_resources(pair):
+    _, replicated, shared = pair
+    ur = replicated.design.resource_usage()
+    us = shared.design.resource_usage()
+    for key in ("LUT", "FF", "DSP48E2"):
+        assert us.get(key, 0) < ur.get(key, 0), key
+
+
+def test_shared_has_one_engine_per_signature(pair):
+    net, _, shared = pair
+    comps = group_components(net, "layer")
+    unique = {c.signature for c in comps}
+    meta = shared.design.metadata
+    assert meta["shared"] is True
+    assert meta["n_physical"] == len(unique)
+    assert meta["passes"] == len(comps)
+    # modules: one per unique component + the scheduler
+    assert len(shared.design.modules()) == len(unique) + 1
+    assert "scheduler" in shared.design.modules()
+
+
+def test_shared_design_is_legal_and_routed(small_device, pair):
+    _, _, shared = pair
+    shared.design.validate(small_device)
+    assert shared.route.failed == 0
+    assert shared.design.is_fully_routed
+    assert shared.fmax_mhz > 0
+
+
+def test_shared_star_stitching(pair):
+    _, _, shared = pair
+    stitch = shared.extras["stitch"]
+    # two stitch nets (to/from the scheduler) per physical engine
+    n_engines = shared.design.metadata["n_physical"]
+    assert len(stitch.stitch_nets) == 2 * n_engines
+    sched = next(r for r in stitch.records if r.name == "scheduler")
+    assert sched.fmax_ooc_mhz > 0
+
+
+def test_shared_deterministic(small_device):
+    net = _repnet()
+    results = []
+    for _ in range(2):
+        flow = PreImplementedFlow(small_device, component_effort="low", seed=4)
+        db, _ = flow.build_database(net)
+        results.append(flow.run(net, database=db, share_components=True))
+    assert results[0].fmax_mhz == pytest.approx(results[1].fmax_mhz)

@@ -1,0 +1,148 @@
+"""NetlistBuilder topology invariants: chains, trees, fanout distribution."""
+
+import pytest
+
+from repro.synth.builder import NetlistBuilder
+
+
+def _reachable_to_root(design, cells) -> bool:
+    """Every cell can reach cells[0] following driver->sink edges upstream."""
+    parents: dict[str, set[str]] = {c: set() for c in cells}
+    for net in design.nets.values():
+        for sink in net.sinks:
+            if sink in parents and net.driver in parents:
+                parents[sink].add(net.driver)
+                # reduction flows child -> parent, so sink is the parent
+    # walk from each cell along "drives" edges until the root is found
+    drives: dict[str, set[str]] = {c: set() for c in cells}
+    for net in design.nets.values():
+        if net.driver in drives:
+            for sink in net.sinks:
+                if sink in drives:
+                    drives[net.driver].add(sink)
+    root = cells[0]
+    for start in cells[1:]:
+        seen = set()
+        frontier = [start]
+        found = False
+        while frontier:
+            cur = frontier.pop()
+            if cur == root:
+                found = True
+                break
+            if cur in seen:
+                continue
+            seen.add(cur)
+            frontier.extend(drives[cur])
+        if not found:
+            return False
+    return True
+
+
+def test_slice_group_distributes_budget():
+    b = NetlistBuilder("t")
+    cells = b.slice_group("g", luts=21, ffs=35)
+    total_luts = sum(b.design.cells[c].luts for c in cells)
+    total_ffs = sum(b.design.cells[c].ffs for c in cells)
+    assert total_luts == 21 and total_ffs == 35
+    for c in cells:
+        cell = b.design.cells[c]
+        assert cell.luts <= 8 and cell.ffs <= 16
+
+
+def test_slice_group_empty_budget():
+    b = NetlistBuilder("t")
+    assert b.slice_group("g", 0, 0) == []
+
+
+def test_chain_topology():
+    b = NetlistBuilder("t")
+    cells = b.slice_group("g", 40, 0)
+    nets = b.chain(cells, "c")
+    assert len(nets) == len(cells) - 1
+    for net, (a, bb) in zip(nets, zip(cells, cells[1:])):
+        assert net.driver == a and net.sinks == [bb]
+
+
+def test_reduce_tree_reaches_root():
+    b = NetlistBuilder("t")
+    cells = b.slice_group("g", 8 * 70, 0)  # 70 cells > several blocks
+    b.reduce_tree(cells, "r", block=8)
+    assert _reachable_to_root(b.design, cells)
+
+
+@pytest.mark.parametrize("n", [1, 2, 8, 16, 17, 50])
+def test_reduce_tree_sizes(n):
+    b = NetlistBuilder("t")
+    cells = b.slice_group("g", 8 * n, 0)
+    nets = b.reduce_tree(cells, "r", block=16)
+    # a reduction over n nodes needs exactly n-1 edges
+    assert len(nets) == len(cells) - 1
+    assert _reachable_to_root(b.design, cells)
+
+
+def test_fanout_small_is_single_net():
+    b = NetlistBuilder("t")
+    cells = b.slice_group("g", 8 * 6, 0)
+    net = b.fanout(cells[0], cells[1:], "f", arity=12)
+    assert set(net.sinks) == set(cells[1:])
+
+
+def test_fanout_tree_covers_all_dests_once():
+    b = NetlistBuilder("t")
+    cells = b.slice_group("g", 8 * 60, 0)
+    src, dests = cells[0], cells[1:]
+    b.fanout(src, dests, "f", arity=7)
+    covered = []
+    for net in b.design.nets.values():
+        assert len(net.sinks) <= 7
+        covered.extend(net.sinks)
+    assert sorted(covered) == sorted(dests)  # each dest driven exactly once
+    # and every dest is reachable from the source
+    assert _reachable_to_root(b.design, [d for d in [src] + dests][::-1]) or True
+    reach = {src}
+    changed = True
+    while changed:
+        changed = False
+        for net in b.design.nets.values():
+            if net.driver in reach:
+                for s in net.sinks:
+                    if s not in reach:
+                        reach.add(s)
+                        changed = True
+    assert set(dests) <= reach
+
+
+def test_fanout_excludes_self_and_empty():
+    b = NetlistBuilder("t")
+    cells = b.slice_group("g", 16, 0)
+    assert b.fanout(cells[0], [cells[0]], "f") is None
+    assert b.fanout(cells[0], [], "f") is None
+
+
+def test_distribute_round_robin():
+    b = NetlistBuilder("t")
+    srcs = b.bram_group("s", 3)
+    dests = b.dsp_group("d", 7)
+    nets = b.distribute(srcs, dests, "w")
+    driven = [s for net in nets for s in net.sinks]
+    assert sorted(driven) == sorted(dests)
+    assert len(nets) == 3
+
+
+def test_clock_covers_sequential_cells_only():
+    b = NetlistBuilder("t")
+    seq = b.slice_group("s", 16, 16, seq=True)
+    comb = b.slice_group("c", 16, 0, seq=False)
+    b.clock()
+    clock = [n for n in b.design.nets.values() if n.is_clock][0]
+    assert set(clock.sinks) == set(seq)
+    assert not set(comb) & set(clock.sinks)
+
+
+def test_finish_validates_and_tags():
+    b = NetlistBuilder("t")
+    cells = b.slice_group("g", 16, 16)
+    b.chain(cells, "c")
+    design = b.finish(kind="test", params={"x": 1})
+    assert design.metadata["kind"] == "test"

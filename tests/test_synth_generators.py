@@ -1,0 +1,181 @@
+"""Component generators: structure, resources, ports, metadata."""
+
+import pytest
+
+from repro.cnn import group_components
+from repro.synth import (
+    CAL,
+    conv_parallelism,
+    conv_resources,
+    fc_parallelism,
+    fc_resources,
+    gen_conv,
+    gen_fc,
+    gen_memctrl,
+    gen_pe_array,
+    gen_pool,
+    gen_relu,
+    generate_component,
+    pool_resources,
+    slices_for,
+)
+from tests.conftest import make_tiny_cnn
+
+
+# -- resource model ------------------------------------------------------------
+
+
+def test_parallelism_caps():
+    assert conv_parallelism(6, 5, rom_weights=True).pf == 6
+    assert conv_parallelism(64, 5, rom_weights=True).pf == CAL["conv_pf_cap_rom"]
+    assert conv_parallelism(512, 3, rom_weights=False).pf == CAL["conv_pf_cap_stream"]
+    assert fc_parallelism(4).pf == 4
+    assert fc_parallelism(4096).pf == CAL["fc_pu_cap"]
+
+
+def test_slices_for():
+    assert slices_for(0, 0) == 0
+    assert slices_for(8, 0) == 1
+    assert slices_for(9, 0) == 2
+    assert slices_for(0, 17) == 2
+
+
+def test_conv_budget_rom_vs_stream():
+    rom = conv_resources(3, 32, 3, 16, 448, rom_weights=True)
+    stream = conv_resources(3, 32, 3, 16, 448, rom_weights=False)
+    assert rom.lut_weights > 0 and stream.lut_weights == 0
+    assert stream.lut_mac > rom.lut_mac  # staging muxes + wider parallelism
+    assert rom.dsp == CAL["conv_pf_cap_rom"] * 3
+    assert stream.dsp == 16 * 3
+
+
+def test_wide_line_buffer_spills_to_bram():
+    narrow = conv_resources(1, 32, 5, 6, 156, rom_weights=True)
+    wide = conv_resources(512, 14, 3, 512, 2359808, rom_weights=False)
+    assert narrow.bram_lb == 0
+    assert wide.bram_lb > 0 and wide.lut_lb < narrow.lut_lb * 20
+
+
+def test_pool_budget():
+    b = pool_resources(6, 2, 28)
+    assert b.lut_cmp == CAL["lut_per_comparator"] * 6 * 3
+    assert b.totals()["DSP48E2"] == 0
+
+
+def test_fc_budget():
+    b = fc_resources(400, 120, 48120, rom_weights=True)
+    assert b.dsp == CAL["fc_pu_cap"]
+    assert b.bram_weights >= 1
+
+
+# -- generated netlists ---------------------------------------------------------
+
+
+def _check_design(design, expect_dsp=None):
+    design.validate()
+    usage = design.resource_usage()
+    assert usage.get("LUT", 0) > 0
+    if expect_dsp is not None:
+        assert usage.get("DSP48E2", 0) == expect_dsp
+    # exactly one clock net spanning all sequential cells
+    clocks = [n for n in design.nets.values() if n.is_clock]
+    assert len(clocks) == 1
+    seq = {c.name for c in design.cells.values() if c.seq}
+    assert set(clocks[0].sinks) == seq
+    # boundary ports exist and reference live nets
+    assert "in_data" in design.ports and "out_data" in design.ports
+    for port in design.ports.values():
+        assert port.net in design.nets
+    return usage
+
+
+def test_gen_conv_structure():
+    design = gen_conv(1, 32, 32, 5, 6, rom_weights=True)
+    budget = conv_resources(1, 32, 5, 6, 156, True)
+    usage = _check_design(design)
+    # DSPs: MAC array plus 2 per memory controller (src + snk)
+    assert usage["DSP48E2"] == budget.dsp + 2 * CAL["memctrl_dsp"]
+    assert design.metadata["kind"] == "conv"
+    assert design.metadata["parallelism"] == {"pf": 6, "pk": 5}
+
+
+def test_gen_conv_with_relu_and_weight_port():
+    design = gen_conv(3, 16, 16, 3, 8, rom_weights=False, include_relu=True)
+    _check_design(design)
+    assert design.metadata["kind"] == "conv_relu"
+    assert "in_weights" in design.ports
+
+
+def test_gen_pool_and_relu_fusion():
+    plain = gen_pool(6, 28, 28, 2)
+    fused = gen_pool(6, 28, 28, 2, include_relu=True)
+    _check_design(plain)
+    _check_design(fused)
+    assert len(fused.cells) > len(plain.cells)
+    assert fused.metadata["kind"] == "pool_relu"
+
+
+def test_gen_fc():
+    design = gen_fc(400, 120, rom_weights=True)
+    usage = _check_design(design)
+    assert usage["DSP48E2"] == CAL["fc_pu_cap"] + 2 * CAL["memctrl_dsp"]
+
+
+def test_gen_relu_standalone():
+    design = gen_relu(16)
+    _check_design(design, expect_dsp=0)
+
+
+def test_gen_memctrl():
+    design = gen_memctrl(4096)
+    design.validate()
+    assert design.metadata["kind"] == "memctrl"
+    assert design.resource_usage()["DSP48E2"] == CAL["memctrl_dsp"]
+
+
+def test_pe_array_kernels():
+    for kernel in ("MM", "OP", "RC", "SM"):
+        design = gen_pe_array(kernel, 3, 3)
+        design.validate()
+        usage = design.resource_usage()
+        if kernel in ("MM", "OP"):
+            assert usage.get("DSP48E2", 0) == 9
+        else:
+            assert usage.get("DSP48E2", 0) == 0
+    with pytest.raises(KeyError, match="unknown kernel"):
+        gen_pe_array("XY")
+
+
+def test_generate_component_dispatch():
+    comps = group_components(make_tiny_cnn(), "layer")
+    designs = [generate_component(c, rom_weights=True) for c in comps]
+    kinds = [d.metadata["component"]["kind"] for d in designs]
+    assert kinds == [c.kind for c in comps]
+    for d in designs:
+        d.validate()
+        assert d.metadata["component"]["signature"]
+
+
+def test_generate_block_chains_stages():
+    from repro.cnn import Conv2D, DFG, Input, MaxPool2D, ReLU, Dense, Flatten
+
+    dfg = DFG.sequential(
+        "blk",
+        [
+            Input("in", shape=(1, 16, 16)),
+            Conv2D("c1", filters=2, kernel=3, padding="same"),
+            ReLU("r1"),
+            Conv2D("c2", filters=2, kernel=3, padding="same"),
+            ReLU("r2"),
+            MaxPool2D("p", size=2),
+            Flatten("fl"),
+            Dense("d", units=4),
+        ],
+    )
+    comps = group_components(dfg, "block")
+    block = next(c for c in comps if c.kind == "conv_block")
+    design = generate_component(block, rom_weights=False)
+    design.validate()
+    # contains both conv stages, stitched internally
+    assert any("c1" in name for name in design.cells)
+    assert any("c2" in name for name in design.cells)

@@ -1,0 +1,146 @@
+"""STA: delay composition, critical paths, comb loops, pipelining."""
+
+import pytest
+
+from repro.fabric import TileType
+from repro.netlist import Cell, Design, cell_type
+from repro.timing import (
+    DEFAULT_DELAYS,
+    DelayModel,
+    TimingError,
+    analyze,
+    fmax_mhz,
+    pipeline_to_target,
+)
+
+
+def _reg2reg(device, span=4) -> Design:
+    d = Design("r2r")
+    clb = [int(c) for c in device.columns_of(TileType.CLB)]
+    d.new_cell("a", "SLICE", placement=(clb[0], 0), luts=1, ffs=1)
+    d.new_cell("b", "SLICE", placement=(clb[min(span, len(clb) - 1)], 0), luts=1, ffs=1)
+    d.connect("n", "a", ["b"], width=8)
+    return d
+
+
+def test_reg2reg_period_composition(tiny_device):
+    d = _reg2reg(tiny_device)
+    report = analyze(d, tiny_device)
+    spec = cell_type("SLICE")
+    dist = abs(d.cells["a"].placement[0] - d.cells["b"].placement[0])
+    expected = (
+        spec.base_delay_ps
+        + DEFAULT_DELAYS.net_base_ps
+        + DEFAULT_DELAYS.tile_delay_ps * dist * DEFAULT_DELAYS.detour_factor
+        + spec.setup_ps
+    )
+    assert report.period_ps == pytest.approx(expected, rel=1e-6)
+    assert report.fmax_mhz == pytest.approx(
+        1e6 / (expected + DEFAULT_DELAYS.clock_overhead_ps), rel=1e-6
+    )
+
+
+def test_longer_wire_lower_fmax(tiny_device):
+    near = analyze(_reg2reg(tiny_device, span=1), tiny_device)
+    far = analyze(_reg2reg(tiny_device, span=8), tiny_device)
+    assert far.fmax_mhz < near.fmax_mhz
+
+
+def test_comb_chain_accumulates(tiny_device):
+    d = Design("comb")
+    clb = int(tiny_device.columns_of(TileType.CLB)[0])
+    d.new_cell("src", "SLICE", placement=(clb, 0), ffs=1)
+    d.new_cell("mid", "SLICE", placement=(clb, 1), luts=4, seq=False)
+    d.new_cell("dst", "SLICE", placement=(clb, 2), ffs=1)
+    d.connect("n1", "src", ["mid"])
+    d.connect("n2", "mid", ["dst"])
+    two_hop = analyze(d, tiny_device)
+    assert [c for c, _ in two_hop.critical_path] == ["src", "mid", "dst"]
+    # must exceed a single-hop path with the same endpoints
+    single = analyze(_reg2reg(tiny_device, span=0), tiny_device)
+    assert two_hop.period_ps > single.period_ps
+
+
+def test_comb_loop_detected(tiny_device):
+    d = Design("loop")
+    clb = int(tiny_device.columns_of(TileType.CLB)[0])
+    d.new_cell("x", "SLICE", placement=(clb, 0), seq=False, luts=1)
+    d.new_cell("y", "SLICE", placement=(clb, 1), seq=False, luts=1)
+    d.connect("fwd", "x", ["y"])
+    d.connect("back", "y", ["x"])
+    with pytest.raises(TimingError, match="combinational loop"):
+        analyze(d, tiny_device)
+
+
+def test_io_crossing_penalty(tiny_device):
+    io = int(tiny_device.io_columns[0])
+    clb = [int(c) for c in tiny_device.columns_of(TileType.CLB)]
+    left = max(c for c in clb if c < io)
+    right = min(c for c in clb if c > io)
+    d = Design("cross")
+    d.new_cell("a", "SLICE", placement=(left, 0), ffs=1)
+    d.new_cell("b", "SLICE", placement=(right, 0), ffs=1)
+    d.connect("n", "a", ["b"])
+    crossing = analyze(d, tiny_device)
+    same_side = analyze(_reg2reg(tiny_device, span=2), tiny_device)
+    assert crossing.period_ps > same_side.period_ps + DEFAULT_DELAYS.io_cross_ps / 2
+
+
+def test_clock_nets_excluded(tiny_device):
+    d = _reg2reg(tiny_device)
+    d.connect("clk", None, ["a", "b"], is_clock=True, width=1)
+    base = analyze(_reg2reg(tiny_device), tiny_device)
+    with_clk = analyze(d, tiny_device)
+    assert with_clk.period_ps == base.period_ps
+
+
+def test_empty_design(tiny_device):
+    report = analyze(Design("empty"), tiny_device)
+    assert report.n_paths == 0
+    assert report.fmax_mhz > 0
+
+
+def test_custom_delay_model(tiny_device):
+    slow = DelayModel(tile_delay_ps=500.0)
+    d = _reg2reg(tiny_device, span=5)
+    assert fmax_mhz(d, tiny_device, delays=slow) < fmax_mhz(d, tiny_device)
+
+
+def test_routed_delay_uses_actual_path(tiny_device, tiny_graph):
+    from repro.route import Router
+
+    d = _reg2reg(tiny_device, span=6)
+    est = analyze(d, tiny_device, None)
+    Router(tiny_device, tiny_graph).route(d)
+    routed = analyze(d, tiny_device, tiny_graph)
+    # both are sane and in the same ballpark
+    assert routed.period_ps == pytest.approx(est.period_ps, rel=0.5)
+
+
+# -- pipelining ---------------------------------------------------------------
+
+
+def test_pipeline_inserts_regs_and_improves(tiny_device):
+    d = _reg2reg(tiny_device, span=9)
+    before = analyze(d, tiny_device)
+    target = before.period_ps * 0.7
+    result = pipeline_to_target(d, tiny_device, target)
+    assert result.inserted >= 1
+    assert result.after.period_ps < before.period_ps
+    assert d.metadata["pipeline_regs"] == result.inserted
+    d.validate(tiny_device)
+
+
+def test_pipeline_respects_locked_nets(tiny_device):
+    d = _reg2reg(tiny_device, span=9)
+    d.nets["n"].locked = True
+    result = pipeline_to_target(d, tiny_device, 1.0)  # unreachable target
+    assert result.inserted == 0
+
+
+def test_pipeline_joins_clock(tiny_device):
+    d = _reg2reg(tiny_device, span=9)
+    clk = d.connect("clk", None, ["a", "b"], is_clock=True)
+    result = pipeline_to_target(d, tiny_device, analyze(d, tiny_device).period_ps * 0.7)
+    assert result.inserted >= 1
+    assert any(s.startswith("pipe_reg_") for s in clk.sinks)
