@@ -16,6 +16,7 @@ Quickstart::
     print(baseline.fmax_mhz, "->", ours.fmax_mhz)
 """
 
+from .engine import BuildCache, Engine, TaskGraph
 from .fabric import Device, PBlock, RoutingGraph, TileType, auto_pblock, get_part
 from .netlist import Cell, Design, DesignError, Net, Port, load_checkpoint, save_checkpoint
 from .cnn import (
@@ -41,6 +42,9 @@ from .analysis import compare_productivity, network_latency
 __version__ = "1.0.0"
 
 __all__ = [
+    "BuildCache",
+    "Engine",
+    "TaskGraph",
     "Device",
     "PBlock",
     "RoutingGraph",

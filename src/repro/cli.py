@@ -7,17 +7,23 @@
 * ``run --model lenet5 [--flow both] [--granularity layer] ...`` — build
   an accelerator with the baseline and/or pre-implemented flow and print
   the comparison.
+* ``build --model vgg16 --jobs 4 [--cache-dir DIR]`` — pre-implement a
+  model's component database through the parallel task-graph engine,
+  with an optional persistent content-addressed build cache (a second
+  run with the same ``--cache-dir`` is answered from cache).
 * ``floorplan --model lenet5`` — stitch and render the ASCII floorplan.
 * ``explore --component conv2`` — sweep the function-optimization space
   for one of the stock LeNet components.
 
-All commands accept ``--seed`` and are fully deterministic.
+All commands accept ``--seed`` and are fully deterministic — including
+``build --jobs N``, whose parallel results are bit-identical to serial.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .analysis import (
     compare_productivity,
@@ -25,9 +31,10 @@ from .analysis import (
     module_legend,
     render_floorplan,
 )
-from .cnn import MODEL_CATALOG, get_model
+from .cnn import MODEL_CATALOG, get_model, group_components
+from .engine import BuildCache
 from .fabric import Device, PART_CATALOG
-from .rapidwright import PreImplementedFlow, explore_component
+from .rapidwright import ComponentDatabase, PreImplementedFlow, explore_component
 from .vivado import VivadoFlow
 
 __all__ = ["main", "build_parser"]
@@ -71,7 +78,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream coefficients from off-chip (VGG style)")
     p_run.add_argument("--pipeline", action="store_true",
                        help="phys-opt pipelining to the slowest-component bound")
+    p_run.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the offline database build")
     p_run.add_argument("--seed", type=int, default=0)
+
+    p_build = sub.add_parser(
+        "build", help="pre-implement a component database (offline, parallel, cached)"
+    )
+    p_build.add_argument("--model", default="lenet5", choices=sorted(MODEL_CATALOG))
+    p_build.add_argument("--part", default="ku5p-like", choices=sorted(PART_CATALOG))
+    p_build.add_argument("--granularity", default="layer", choices=("layer", "block"))
+    p_build.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = serial in-process)")
+    p_build.add_argument("--cache-dir", default=None,
+                         help="persistent content-addressed build cache; a warm "
+                              "rerun is answered without re-implementing")
+    p_build.add_argument("--database-dir", default=None,
+                         help="persist .dcpz checkpoints here (reloadable with "
+                              "ComponentDatabase.load_directory)")
+    p_build.add_argument("--effort", default="high",
+                         help="OOC placement effort preset")
+    p_build.add_argument("--stream-weights", action="store_true",
+                         help="stream coefficients from off-chip (VGG style)")
+    p_build.add_argument("--telemetry", action="store_true",
+                         help="print the per-task engine telemetry table")
+    p_build.add_argument("--seed", type=int, default=0)
 
     p_fp = sub.add_parser("floorplan", help="stitch and render the floorplan")
     p_fp.add_argument("--model", default="lenet5", choices=sorted(MODEL_CATALOG))
@@ -86,6 +117,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_ex.add_argument("--part", default="ku5p-like", choices=sorted(PART_CATALOG))
     p_ex.add_argument("--seeds", type=int, default=3)
     p_ex.add_argument("--anchor-weight", type=float, default=0.0)
+    p_ex.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for independent trials")
     return parser
 
 
@@ -127,7 +160,7 @@ def _cmd_run(args, out) -> int:
     if args.flow in ("preimpl", "both"):
         flow = PreImplementedFlow(device, component_effort="high", seed=args.seed)
         db, offline = flow.build_database(net, granularity=args.granularity,
-                                          rom_weights=rom)
+                                          rom_weights=rom, jobs=args.jobs)
         results["preimpl"] = flow.run(
             net, granularity=args.granularity, rom_weights=rom, database=db,
             pipeline_target_mhz="auto" if args.pipeline else None,
@@ -143,6 +176,40 @@ def _cmd_run(args, out) -> int:
     if len(results) == 2:
         report = compare_productivity(results["baseline"], results["preimpl"])
         print(report.summary(), file=out)
+    return 0
+
+
+def _cmd_build(args, out) -> int:
+    device = Device.from_name(args.part)
+    net = get_model(args.model)
+    components = group_components(net, args.granularity)
+    database = ComponentDatabase(
+        device, directory=Path(args.database_dir) if args.database_dir else None
+    )
+    if database.directory is not None:
+        reloaded = database.load_directory()
+        if reloaded:
+            print(f"reloaded {reloaded} persisted checkpoints", file=out)
+    cache = BuildCache(directory=args.cache_dir) if args.cache_dir else None
+    timer = database.build(
+        components,
+        rom_weights=not args.stream_weights,
+        effort=args.effort,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=cache,
+    )
+    report = database.last_build_report
+    if report is not None:
+        if args.telemetry:
+            print(report.telemetry(), file=out)
+        print(f"engine: jobs={report.jobs}, wall {report.wall_s:.2f} s, "
+              f"cache {report.hit_count} hit / {report.miss_count} miss", file=out)
+    if cache is not None:
+        print(f"cache: {cache.stats}", file=out)
+    print(f"database: {len(database)} checkpoints "
+          f"({len({c.signature for c in components})} unique signatures)", file=out)
+    print(timer.report(), file=out)
     return 0
 
 
@@ -166,6 +233,7 @@ def _cmd_explore(args, out) -> int:
         seeds=tuple(range(args.seeds)),
         slacks=(1.05, 1.4),
         anchor_weight=args.anchor_weight,
+        jobs=args.jobs,
     )
     print(result.report(), file=out)
     best = result.best_trial
@@ -178,6 +246,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "models": _cmd_models,
     "run": _cmd_run,
+    "build": _cmd_build,
     "floorplan": _cmd_floorplan,
     "explore": _cmd_explore,
 }

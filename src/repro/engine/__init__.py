@@ -1,0 +1,34 @@
+"""Parallel task-graph build engine with a content-addressed checkpoint cache.
+
+The function-optimization phase is the flow's one expensive step; this
+package turns it (and any other stage-shaped work) into an explicit task
+graph executed by a worker pool and memoized by content address:
+
+* :mod:`~repro.engine.task` — tasks, dependencies, topological order;
+* :mod:`~repro.engine.executor` — the :class:`Engine`: process pool,
+  timeout/retry, serial fallback, per-task telemetry;
+* :mod:`~repro.engine.cache` — :class:`BuildCache`, canonical content
+  keys, hit/miss/eviction accounting;
+* :mod:`~repro.engine.workers` — picklable build/DSE entry points.
+"""
+
+from .cache import CODE_SALT, BuildCache, CacheStats, canonical_blob, content_key
+from .executor import Engine, EngineReport, TaskError, TaskResult
+from .task import GraphError, TaskGraph, TaskRef, TaskSpec, resolve_refs
+
+__all__ = [
+    "CODE_SALT",
+    "BuildCache",
+    "CacheStats",
+    "canonical_blob",
+    "content_key",
+    "Engine",
+    "EngineReport",
+    "TaskError",
+    "TaskResult",
+    "GraphError",
+    "TaskGraph",
+    "TaskRef",
+    "TaskSpec",
+    "resolve_refs",
+]

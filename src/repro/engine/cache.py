@@ -1,0 +1,169 @@
+"""Content-addressed build cache.
+
+The pre-implemented flow's productivity claim rests on paying the
+function-optimization cost once and amortizing it: this cache is where
+the amortization lives.  Entries are keyed by a SHA-256 over a
+*canonical* serialization of the inputs that determine the result —
+component signature, device part, effort, seed, port planning, plus a
+code-version salt (:data:`CODE_SALT`) so stale results are invalidated
+when the implementation recipe changes — and persist to a directory of
+gzip JSON blobs shared across processes and runs.
+
+Canonicalization normalizes numeric types (``numpy.int64(1)`` and ``1``
+serialize identically, as do tuples and lists), so keys do not depend on
+which frontend produced the signature.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import numbers
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = ["CODE_SALT", "canonical", "canonical_blob", "content_key", "CacheStats", "BuildCache"]
+
+#: Bump when the build recipe changes in a way that invalidates cached
+#: results (new pblock heuristics, port-planning changes, ...).
+CODE_SALT = "repro-engine-v1"
+
+_MISS = object()
+
+
+def canonical(obj: Any) -> Any:
+    """Normal form of *obj* for hashing: JSON-able, numeric-type agnostic.
+
+    Booleans stay booleans (JSON keeps them distinct from ``0``/``1``);
+    any integral type collapses to ``int`` and any real type to
+    ``float``; tuples and lists are equivalent; dict keys are
+    stringified and sorted by the serializer.  Unknown objects fall back
+    to ``repr`` — fine for keys, as long as the repr is stable.
+    """
+    if obj is None or isinstance(obj, (str, bool)):
+        return obj
+    if isinstance(obj, numbers.Integral):
+        return int(obj)
+    if isinstance(obj, numbers.Real):
+        return float(obj)
+    if isinstance(obj, (list, tuple)):
+        return [canonical(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(key): canonical(value) for key, value in obj.items()}
+    if isinstance(obj, (bytes, bytearray)):
+        return bytes(obj).hex()
+    return repr(obj)
+
+
+def canonical_blob(obj: Any) -> bytes:
+    """Deterministic byte serialization of :func:`canonical` ``(obj)``."""
+    return json.dumps(canonical(obj), sort_keys=True, separators=(",", ":")).encode()
+
+
+def content_key(*parts: Any, salt: str = CODE_SALT) -> str:
+    """Content-addressed cache key over *parts* (salted, hex SHA-256)."""
+    return hashlib.sha256(canonical_blob((salt,) + parts)).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting for one :class:`BuildCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits} hit / {self.misses} miss / "
+            f"{self.puts} put / {self.evictions} evicted"
+        )
+
+
+class BuildCache:
+    """Content-addressed store of JSON-serializable build results.
+
+    In-memory by default; give a *directory* to persist entries as
+    ``<key>.json.gz`` so warm rebuilds work across processes.  With
+    *max_entries*, least-recently-used entries are evicted (memory and
+    disk) once the bound is exceeded.  Returned values are shared — treat
+    them as read-only.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        *,
+        max_entries: int | None = None,
+    ) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._mem: OrderedDict[str, Any] = OrderedDict()
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Fetch *key*, counting a hit or a miss."""
+        value = self._peek(key)
+        if value is _MISS:
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        return value
+
+    def __contains__(self, key: str) -> bool:
+        return self._peek(key) is not _MISS
+
+    def _peek(self, key: str) -> Any:
+        if key in self._mem:
+            self._mem.move_to_end(key)
+            return self._mem[key]
+        if self.directory is not None:
+            path = self._path(key)
+            if path.exists():
+                try:
+                    value = json.loads(gzip.decompress(path.read_bytes()).decode())
+                except (OSError, EOFError, gzip.BadGzipFile, json.JSONDecodeError):
+                    # corrupt or truncated on-disk entry: drop it and rebuild
+                    path.unlink(missing_ok=True)
+                    return _MISS
+                self._remember(key, value)
+                return value
+        return _MISS
+
+    # -- store -------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        """Store *value* (must be JSON-serializable) under *key*."""
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            blob = gzip.compress(json.dumps(value).encode(), mtime=0)
+            tmp = self._path(key).with_suffix(".tmp")
+            tmp.write_bytes(blob)
+            tmp.replace(self._path(key))
+        self._remember(key, value)
+        self.stats.puts += 1
+
+    def _remember(self, key: str, value: Any) -> None:
+        self._mem[key] = value
+        self._mem.move_to_end(key)
+        while self.max_entries is not None and len(self._mem) > self.max_entries:
+            old, _ = self._mem.popitem(last=False)
+            if self.directory is not None:
+                self._path(old).unlink(missing_ok=True)
+            self.stats.evictions += 1
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json.gz"
+
+    def __len__(self) -> int:
+        keys = set(self._mem)
+        if self.directory is not None and self.directory.exists():
+            keys.update(p.name[: -len(".json.gz")] for p in self.directory.glob("*.json.gz"))
+        return len(keys)

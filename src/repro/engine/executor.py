@@ -1,0 +1,370 @@
+"""Dependency-aware task execution with a process worker pool.
+
+The :class:`Engine` runs a :class:`~repro.engine.task.TaskGraph`:
+
+* tasks whose ``cache_key`` is present in the build cache are answered
+  without executing;
+* with ``jobs=1`` the remaining tasks run serially, in-process, in
+  deterministic topological order;
+* with ``jobs>1`` independent tasks run concurrently on a
+  ``ProcessPoolExecutor`` with per-task timeout and retry; anything that
+  cannot be pooled (unpicklable callables, a broken or unavailable pool)
+  falls back gracefully to in-process execution.
+
+Tasks must be pure functions of their inputs for the parallel and serial
+schedules to be equivalent — the engine guarantees *scheduling*
+determinism (stable ordering, no shared mutable state), and the flow's
+seeded stages guarantee *value* determinism on top.
+
+Every task leaves a telemetry record (queue time, run time, worker id,
+cache status) and the report aggregates them into a
+:class:`~repro._util.StageTimer` so engine time slots directly into the
+productivity accounting the benchmarks already use.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from .._util import StageTimer
+from .cache import BuildCache
+from .task import TaskGraph, TaskSpec, resolve_refs
+
+__all__ = ["Engine", "EngineReport", "TaskError", "TaskResult"]
+
+_MISS = object()
+
+
+class TaskError(RuntimeError):
+    """A task failed after exhausting its retry budget."""
+
+    def __init__(self, task_id: str, message: str, cause: BaseException | None = None):
+        super().__init__(f"task {task_id!r}: {message}")
+        self.task_id = task_id
+        self.cause = cause
+
+
+@dataclass
+class TaskResult:
+    """Telemetry for one executed (or cache-answered) task."""
+
+    task_id: str
+    stage: str
+    worker: str          # "cache", "serial", or "pid:<n>"
+    cache: str           # "hit" | "miss" | "off"
+    queue_s: float
+    run_s: float
+    attempts: int
+
+
+@dataclass
+class EngineReport:
+    """Results plus per-task telemetry of one :meth:`Engine.run`."""
+
+    jobs: int
+    wall_s: float
+    results: dict[str, object]
+    tasks: list[TaskResult] = field(default_factory=list)
+    cache: BuildCache | None = None
+
+    @property
+    def hit_count(self) -> int:
+        return sum(1 for t in self.tasks if t.cache == "hit")
+
+    @property
+    def miss_count(self) -> int:
+        return sum(1 for t in self.tasks if t.cache == "miss")
+
+    def timer(self) -> StageTimer:
+        """Per-stage run time, :class:`StageTimer`-compatible.
+
+        Stage totals are summed *task* run times (CPU-equivalent), so the
+        accounting is identical whatever ``jobs`` was; the concurrent
+        wall clock is :attr:`wall_s`.
+        """
+        timer = StageTimer()
+        for task in self.tasks:
+            timer.add(task.stage, task.run_s)
+        return timer
+
+    def telemetry(self) -> str:
+        """Human-readable per-task table (queue/run/worker/cache)."""
+        lines = [f"{'task':<24s} {'stage':<20s} {'worker':>10s} {'cache':>5s} "
+                 f"{'queue s':>8s} {'run s':>8s} {'try':>3s}"]
+        for t in self.tasks:
+            lines.append(
+                f"{t.task_id:<24s} {t.stage:<20s} {t.worker:>10s} {t.cache:>5s} "
+                f"{t.queue_s:8.3f} {t.run_s:8.3f} {t.attempts:3d}"
+            )
+        return "\n".join(lines)
+
+
+def _invoke(fn, args, kwargs):
+    """Worker-side wrapper: measure run time and report the worker pid."""
+    start = time.perf_counter()
+    value = fn(*args, **kwargs)
+    return value, os.getpid(), time.perf_counter() - start
+
+
+def _looks_unpicklable(exc: BaseException) -> bool:
+    return isinstance(exc, pickle.PicklingError) or "pickle" in str(exc).lower()
+
+
+@dataclass
+class _Flight:
+    """Bookkeeping for one in-flight pooled task."""
+
+    spec: TaskSpec
+    submitted_at: float
+    deadline: float | None
+    attempts: int
+
+
+class Engine:
+    """Parallel task-graph executor with a content-addressed cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (the default) executes in-process.
+    cache:
+        Optional :class:`BuildCache` consulted before running any task
+        with a ``cache_key`` and populated after each miss.
+    timeout_s / retries:
+        Defaults for tasks that do not set their own.  Timeouts are
+        enforced in pooled mode only (a timed-out attempt is resubmitted
+        until the retry budget runs out; the stray worker call is
+        abandoned, which is sound because tasks are pure).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        cache: BuildCache | None = None,
+        timeout_s: float | None = None,
+        retries: int = 0,
+        mp_context: str = "fork",
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.timeout_s = timeout_s
+        self.retries = max(0, int(retries))
+        self.mp_context = mp_context
+
+    # -- public ------------------------------------------------------------
+
+    def run(self, graph: TaskGraph) -> EngineReport:
+        start = time.perf_counter()
+        order = graph.order()
+        results: dict[str, object] = {}
+        telemetry: list[TaskResult] = []
+
+        pending: list[TaskSpec] = []
+        for tid in order:
+            spec = graph[tid]
+            if self.cache is not None and spec.cache_key is not None:
+                value = self.cache.get(spec.cache_key, _MISS)
+                if value is not _MISS:
+                    results[tid] = value
+                    telemetry.append(TaskResult(tid, spec.stage, "cache", "hit", 0.0, 0.0, 0))
+                    continue
+            pending.append(spec)
+
+        if pending:
+            if self.jobs == 1:
+                self._run_serial(pending, results, telemetry)
+            else:
+                self._run_pooled(pending, results, telemetry)
+
+        return EngineReport(
+            jobs=self.jobs,
+            wall_s=time.perf_counter() - start,
+            results=results,
+            tasks=telemetry,
+            cache=self.cache,
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _cache_status(self, spec: TaskSpec) -> str:
+        return "miss" if (self.cache is not None and spec.cache_key is not None) else "off"
+
+    def _store(self, spec: TaskSpec, value: object) -> None:
+        if self.cache is not None and spec.cache_key is not None:
+            self.cache.put(spec.cache_key, value)
+
+    def _retries_for(self, spec: TaskSpec) -> int:
+        return self.retries if spec.retries is None else max(0, spec.retries)
+
+    def _deadline_for(self, spec: TaskSpec) -> float | None:
+        timeout = spec.timeout_s if spec.timeout_s is not None else self.timeout_s
+        return None if timeout is None else time.perf_counter() + timeout
+
+    # -- serial ------------------------------------------------------------
+
+    def _run_serial(
+        self,
+        pending: list[TaskSpec],
+        results: dict[str, object],
+        telemetry: list[TaskResult],
+    ) -> None:
+        for spec in pending:
+            args = resolve_refs(spec.args, results)
+            kwargs = resolve_refs(spec.kwargs, results)
+            attempts = 0
+            budget = self._retries_for(spec)
+            while True:
+                attempts += 1
+                start = time.perf_counter()
+                try:
+                    value = spec.fn(*args, **kwargs)
+                    break
+                except Exception as exc:
+                    if attempts > budget:
+                        raise TaskError(spec.id, f"failed after {attempts} attempts: {exc}",
+                                        cause=exc) from exc
+            run_s = time.perf_counter() - start
+            results[spec.id] = value
+            self._store(spec, value)
+            telemetry.append(TaskResult(
+                spec.id, spec.stage, "serial", self._cache_status(spec), 0.0, run_s, attempts
+            ))
+
+    # -- pooled ------------------------------------------------------------
+
+    def _run_pooled(
+        self,
+        pending: list[TaskSpec],
+        results: dict[str, object],
+        telemetry: list[TaskResult],
+    ) -> None:
+        try:
+            import multiprocessing
+
+            try:
+                # fork keeps workers warm (imports inherited) and preserves
+                # the parent's hash seed; platforms without it use their default.
+                ctx = multiprocessing.get_context(self.mp_context)
+            except ValueError:
+                ctx = multiprocessing.get_context()
+            pool = ProcessPoolExecutor(max_workers=self.jobs, mp_context=ctx)
+        except Exception:
+            # No usable pool on this platform/configuration: degrade to serial.
+            self._run_serial(pending, results, telemetry)
+            return
+
+        specs = {spec.id: spec for spec in pending}
+        remaining = {
+            spec.id: sum(1 for d in spec.deps if d not in results) for spec in pending
+        }
+        dependents: dict[str, list[str]] = {tid: [] for tid in specs}
+        for spec in pending:
+            for dep in spec.deps:
+                if dep in specs:
+                    dependents[dep].append(spec.id)
+        ready = [tid for tid in specs if remaining[tid] == 0]
+        attempts = {tid: 0 for tid in specs}
+        inflight: dict[Future, _Flight] = {}
+        done_count = 0
+
+        def submit(tid: str) -> None:
+            spec = specs[tid]
+            args = resolve_refs(spec.args, results)
+            kwargs = resolve_refs(spec.kwargs, results)
+            attempts[tid] += 1
+            future = pool.submit(_invoke, spec.fn, args, kwargs)
+            inflight[future] = _Flight(
+                spec, time.perf_counter(), self._deadline_for(spec), attempts[tid]
+            )
+
+        def finish(spec: TaskSpec, value, worker: str, queue_s: float, run_s: float) -> None:
+            nonlocal done_count
+            results[spec.id] = value
+            self._store(spec, value)
+            telemetry.append(TaskResult(
+                spec.id, spec.stage, worker, self._cache_status(spec),
+                max(0.0, queue_s), run_s, attempts[spec.id],
+            ))
+            done_count += 1
+            for nxt in dependents[spec.id]:
+                remaining[nxt] -= 1
+                if remaining[nxt] == 0:
+                    ready.append(nxt)
+
+        def run_inline(spec: TaskSpec, queue_s: float) -> None:
+            """In-process fallback for work the pool cannot take."""
+            args = resolve_refs(spec.args, results)
+            kwargs = resolve_refs(spec.kwargs, results)
+            start = time.perf_counter()
+            try:
+                value = spec.fn(*args, **kwargs)
+            except Exception as exc:
+                raise TaskError(spec.id, f"failed in serial fallback: {exc}", cause=exc) from exc
+            finish(spec, value, "serial", queue_s, time.perf_counter() - start)
+
+        try:
+            while done_count < len(specs):
+                while ready:
+                    submit(ready.pop(0))
+                if not inflight:
+                    raise TaskError(
+                        next(iter(specs)), "scheduler stalled (unsatisfiable deps)"
+                    )
+                finished, _ = wait(
+                    set(inflight), timeout=0.05, return_when=FIRST_COMPLETED
+                )
+                now = time.perf_counter()
+                for future in finished:
+                    flight = inflight.pop(future)
+                    spec = flight.spec
+                    try:
+                        value, pid, run_s = future.result()
+                    except BrokenProcessPool:
+                        raise
+                    except Exception as exc:
+                        if _looks_unpicklable(exc):
+                            run_inline(spec, now - flight.submitted_at)
+                        elif flight.attempts <= self._retries_for(spec):
+                            submit(spec.id)
+                        else:
+                            raise TaskError(
+                                spec.id,
+                                f"failed after {flight.attempts} attempts: {exc}",
+                                cause=exc,
+                            ) from exc
+                        continue
+                    finish(spec, value, f"pid:{pid}",
+                           now - flight.submitted_at - run_s, run_s)
+                # Enforce per-task deadlines on whatever is still running.
+                for future, flight in list(inflight.items()):
+                    if flight.deadline is not None and now > flight.deadline:
+                        future.cancel()
+                        del inflight[future]
+                        spec = flight.spec
+                        if flight.attempts <= self._retries_for(spec):
+                            submit(spec.id)
+                        else:
+                            raise TaskError(
+                                spec.id,
+                                f"timed out after {flight.attempts} attempts "
+                                f"({spec.timeout_s or self.timeout_s}s each)",
+                            )
+        except BrokenProcessPool:
+            # The pool died under us (worker OOM, hard crash): run whatever
+            # is left in-process so the build still completes.
+            pool.shutdown(wait=False, cancel_futures=True)
+            leftover = [specs[tid] for tid in specs if tid not in results]
+            self._run_serial(leftover, results, telemetry)
+        except BaseException:
+            # Don't block the caller on abandoned workers (e.g. a timed-out
+            # task still sleeping in a child) — detach and re-raise.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown(wait=True)

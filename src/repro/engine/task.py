@@ -1,0 +1,155 @@
+"""Task graph: flow stages as explicit tasks with inputs and outputs.
+
+A :class:`TaskGraph` declares units of work — OOC component
+pre-implementation, DSE trials, stitching — as tasks with explicit
+dependencies, so the engine can run independent tasks concurrently while
+dependent ones wait.  A task's inputs are ordinary ``args``/``kwargs``;
+wherever a :class:`TaskRef` appears, the executor substitutes the
+referenced task's result before invocation, and the reference doubles as
+an implicit dependency edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+__all__ = ["GraphError", "TaskRef", "TaskSpec", "TaskGraph", "resolve_refs", "find_refs"]
+
+
+class GraphError(ValueError):
+    """A structural problem with the task graph (duplicate, missing dep, cycle)."""
+
+
+@dataclass(frozen=True)
+class TaskRef:
+    """Placeholder for another task's result inside ``args``/``kwargs``."""
+
+    task_id: str
+
+
+@dataclass
+class TaskSpec:
+    """One schedulable unit of work.
+
+    ``fn`` must be picklable (module-level) for pooled execution; the
+    engine falls back to in-process execution when it is not.
+    ``cache_key`` opts the task into the content-addressed build cache.
+    ``retries``/``timeout_s`` of ``None`` inherit the engine defaults.
+    """
+
+    id: str
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    deps: tuple[str, ...] = ()
+    stage: str = "task"
+    cache_key: str | None = None
+    timeout_s: float | None = None
+    retries: int | None = None
+
+
+def find_refs(obj: Any) -> list[str]:
+    """Collect task ids of every :class:`TaskRef` nested in *obj*."""
+    refs: list[str] = []
+    if isinstance(obj, TaskRef):
+        refs.append(obj.task_id)
+    elif isinstance(obj, (list, tuple)):
+        for item in obj:
+            refs.extend(find_refs(item))
+    elif isinstance(obj, Mapping):
+        for item in obj.values():
+            refs.extend(find_refs(item))
+    return refs
+
+
+def resolve_refs(obj: Any, results: Mapping[str, Any]) -> Any:
+    """Return *obj* with every nested :class:`TaskRef` replaced by its result."""
+    if isinstance(obj, TaskRef):
+        return results[obj.task_id]
+    if isinstance(obj, tuple):
+        return tuple(resolve_refs(item, results) for item in obj)
+    if isinstance(obj, list):
+        return [resolve_refs(item, results) for item in obj]
+    if isinstance(obj, dict):
+        return {key: resolve_refs(value, results) for key, value in obj.items()}
+    return obj
+
+
+class TaskGraph:
+    """Insertion-ordered DAG of :class:`TaskSpec`."""
+
+    def __init__(self) -> None:
+        self.tasks: dict[str, TaskSpec] = {}
+
+    def add(
+        self,
+        task_id: str,
+        fn: Callable[..., Any],
+        *,
+        args: Iterable[Any] = (),
+        kwargs: Mapping[str, Any] | None = None,
+        deps: Iterable[str] = (),
+        stage: str | None = None,
+        cache_key: str | None = None,
+        timeout_s: float | None = None,
+        retries: int | None = None,
+    ) -> TaskRef:
+        """Declare a task; returns a :class:`TaskRef` usable as a later input."""
+        if task_id in self.tasks:
+            raise GraphError(f"duplicate task id {task_id!r}")
+        args = tuple(args)
+        kwargs = dict(kwargs or {})
+        implicit = find_refs(args) + find_refs(kwargs)
+        all_deps = tuple(dict.fromkeys([*deps, *implicit]))
+        self.tasks[task_id] = TaskSpec(
+            id=task_id,
+            fn=fn,
+            args=args,
+            kwargs=kwargs,
+            deps=all_deps,
+            stage=stage or task_id,
+            cache_key=cache_key,
+            timeout_s=timeout_s,
+            retries=retries,
+        )
+        return TaskRef(task_id)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[TaskSpec]:
+        return iter(self.tasks.values())
+
+    def __getitem__(self, task_id: str) -> TaskSpec:
+        return self.tasks[task_id]
+
+    def order(self) -> list[str]:
+        """Validated topological order, stable under insertion order.
+
+        Ties are broken by declaration order, so serial execution (and the
+        deterministic scheduling the engine builds on top) is reproducible
+        run to run.
+        """
+        for spec in self.tasks.values():
+            for dep in spec.deps:
+                if dep not in self.tasks:
+                    raise GraphError(f"task {spec.id!r} depends on unknown task {dep!r}")
+        indegree = {tid: len(spec.deps) for tid, spec in self.tasks.items()}
+        dependents: dict[str, list[str]] = {tid: [] for tid in self.tasks}
+        for tid, spec in self.tasks.items():
+            for dep in spec.deps:
+                dependents[dep].append(tid)
+        ready = [tid for tid in self.tasks if indegree[tid] == 0]
+        order: list[str] = []
+        while ready:
+            tid = ready.pop(0)
+            order.append(tid)
+            for nxt in dependents[tid]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+        if len(order) != len(self.tasks):
+            stuck = sorted(tid for tid in self.tasks if tid not in order)
+            raise GraphError(f"dependency cycle involving {stuck}")
+        return order

@@ -1,0 +1,111 @@
+"""Picklable worker entry points for the engine.
+
+Pooled tasks cross a process boundary, so their callables must be
+module-level (lambdas and closures cannot be pickled).  These wrappers
+are the process-safe counterparts of the flow's build primitives: each
+takes plain picklable inputs (:class:`~repro.cnn.graph.Component`,
+:class:`~repro.fabric.device.Device`, scalars) and returns a plain dict
+whose ``payload`` is the serialized locked design — JSON-shaped, so the
+same value feeds the checkpoint database and the build cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cnn.graph import Component
+from ..fabric.device import Device
+from ..netlist.checkpoint import design_to_dict
+from ..netlist.design import Design
+
+__all__ = [
+    "ComponentFactory",
+    "build_component",
+    "explore_build_component",
+    "run_explore_trial",
+]
+
+
+@dataclass(frozen=True)
+class ComponentFactory:
+    """Picklable replacement for ``lambda: generate_component(comp, ...)``.
+
+    :func:`~repro.rapidwright.explore.explore_component` consumes one
+    fresh design per trial; this factory regenerates it in whichever
+    process the trial lands on.
+    """
+
+    component: Component
+    rom_weights: bool = True
+
+    def __call__(self) -> Design:
+        from ..synth.generator import generate_component
+
+        return generate_component(self.component, rom_weights=self.rom_weights)
+
+
+def build_component(
+    component: Component,
+    device: Device,
+    *,
+    rom_weights: bool = True,
+    effort: str = "high",
+    seed: int = 0,
+    plan_ports: bool = True,
+) -> dict:
+    """Generate and OOC pre-implement one component; return its checkpoint."""
+    from ..rapidwright.ooc import preimplement
+
+    design = ComponentFactory(component, rom_weights)()
+    result = preimplement(design, device, effort=effort, seed=seed, plan_ports=plan_ports)
+    return {"payload": design_to_dict(result.design), "fmax_mhz": result.fmax_mhz}
+
+
+def explore_build_component(
+    component: Component,
+    device: Device,
+    *,
+    rom_weights: bool = True,
+    plan_ports: bool = True,
+    explore: dict | None = None,
+) -> dict:
+    """Run the function-optimization DSE for one component; return the best."""
+    from ..rapidwright.explore import explore_component
+
+    result = explore_component(
+        ComponentFactory(component, rom_weights),
+        device,
+        plan_ports=plan_ports,
+        **(explore or {}),
+    )
+    return {
+        "payload": design_to_dict(result.best.design),
+        "fmax_mhz": result.best.fmax_mhz,
+    }
+
+
+def run_explore_trial(
+    factory,
+    device: Device,
+    *,
+    seed: int,
+    effort: str,
+    slack: float,
+    height: int | None,
+    plan_ports: bool,
+) -> dict:
+    """One DSE trial (one point of the explore sweep) as an engine task."""
+    from ..rapidwright.module import candidate_anchors
+    from ..rapidwright.ooc import preimplement
+
+    design = factory()
+    ooc = preimplement(
+        design,
+        device,
+        effort=effort,
+        seed=seed,
+        plan_ports=plan_ports,
+        slack=slack,
+        max_height=height,
+    )
+    return {"ooc": ooc, "anchors": len(candidate_anchors(device, design))}

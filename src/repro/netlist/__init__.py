@@ -1,7 +1,13 @@
 """Netlist substrate: cells, nets, ports, designs, checkpoints."""
 
 from .cell import Cell
-from .checkpoint import design_from_dict, design_to_dict, load_checkpoint, save_checkpoint
+from .checkpoint import (
+    design_from_dict,
+    design_to_dict,
+    load_checkpoint,
+    save_checkpoint,
+    save_checkpoint_dict,
+)
 from .design import Design, DesignError
 from .library import CELL_LIBRARY, CellTypeSpec, cell_type
 from .net import Net, Port
@@ -16,6 +22,7 @@ __all__ = [
     "CellTypeSpec",
     "cell_type",
     "save_checkpoint",
+    "save_checkpoint_dict",
     "load_checkpoint",
     "design_to_dict",
     "design_from_dict",

@@ -18,7 +18,13 @@ from .cell import Cell
 from .design import Design
 from .net import Net, Port
 
-__all__ = ["save_checkpoint", "load_checkpoint", "design_to_dict", "design_from_dict"]
+__all__ = [
+    "save_checkpoint",
+    "save_checkpoint_dict",
+    "load_checkpoint",
+    "design_to_dict",
+    "design_from_dict",
+]
 
 FORMAT_VERSION = 1
 
@@ -123,11 +129,21 @@ def design_from_dict(data: dict) -> Design:
 
 def save_checkpoint(design: Design, path: str | Path) -> Path:
     """Write *design* to *path* (gzip JSON when suffix is ``.dcpz``)."""
+    return save_checkpoint_dict(design_to_dict(design), path)
+
+
+def save_checkpoint_dict(data: dict, path: str | Path) -> Path:
+    """Write an already-serialized design dict to *path*.
+
+    Checkpoint bytes are deterministic (``mtime=0`` in the gzip header),
+    so two builds of the same component produce bit-identical files —
+    the equality the engine's determinism tests assert on.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    payload = json.dumps(design_to_dict(design))
+    payload = json.dumps(data)
     if path.suffix == ".dcpz":
-        path.write_bytes(gzip.compress(payload.encode()))
+        path.write_bytes(gzip.compress(payload.encode(), mtime=0))
     else:
         path.write_text(payload)
     return path

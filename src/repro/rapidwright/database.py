@@ -6,29 +6,99 @@ saved.  Later architecture-optimization runs fetch fresh copies by
 signature — the productivity win comes precisely from these hits.
 
 The database can live purely in memory or persist to a directory of
-``.dcpz`` checkpoints for reuse across processes.
+``.dcpz`` checkpoints for reuse across processes.  Building goes through
+the :mod:`repro.engine` task-graph executor: independent components
+pre-implement concurrently (``jobs>1``) and a content-addressed
+:class:`~repro.engine.cache.BuildCache` answers repeat builds without
+re-running the flow.
 """
 
 from __future__ import annotations
 
 import hashlib
+import numbers
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from .._util import StageTimer
 from ..cnn.graph import Component
+from ..engine.cache import BuildCache, canonical_blob, content_key
 from ..fabric.device import Device
-from ..netlist.checkpoint import design_from_dict, design_to_dict, load_checkpoint, save_checkpoint
+from ..netlist.checkpoint import (
+    design_from_dict,
+    design_to_dict,
+    load_checkpoint,
+    save_checkpoint_dict,
+)
 from ..netlist.design import Design
-from ..synth.generator import generate_component
-from .ooc import OOCResult, preimplement
 
-__all__ = ["ComponentDatabase", "signature_key"]
+__all__ = ["ComponentDatabase", "signature_key", "build_cache_key"]
 
 
 def signature_key(signature: tuple) -> str:
-    """Stable short key for a component signature (checkpoint filename)."""
-    return hashlib.sha1(repr(signature).encode()).hexdigest()[:16]
+    """Stable short key for a component signature (checkpoint filename).
+
+    The hash is taken over a *canonical* serialization of the signature
+    (:func:`repro.engine.cache.canonical_blob`) rather than ``repr()``,
+    so equivalent signatures that differ only in numeric type — ``1``
+    versus ``numpy.int64(1)`` — or in sequence flavor — tuple versus
+    list — map to one key.
+
+    Compatibility note: releases ≤1.0 hashed ``repr(signature)``, so
+    checkpoint files persisted by them carry different names; reloading
+    such a directory still works (see :meth:`ComponentDatabase.
+    load_directory`), but signatures stored before the exact-metadata fix
+    cannot be recovered and get path-stem placeholder signatures.
+    """
+    return hashlib.sha1(canonical_blob(signature)).hexdigest()[:16]
+
+
+def build_cache_key(
+    signature: tuple,
+    device: Device,
+    *,
+    rom_weights: bool = True,
+    effort: str = "high",
+    seed: int = 0,
+    plan_ports: bool = True,
+    explore: dict | None = None,
+) -> str:
+    """Content address of one component pre-implementation.
+
+    Everything that determines the checkpoint bytes goes in: the
+    component signature, the device part, build options, the DSE sweep
+    (if any), and the engine's code-version salt.
+    """
+    return content_key(
+        "component-build",
+        signature,
+        device.name,
+        rom_weights,
+        effort,
+        seed,
+        plan_ports,
+        explore,
+    )
+
+
+def _signature_to_json(obj):
+    """Signature → JSON-safe structure (tuples to lists, numpy to builtin)."""
+    if isinstance(obj, (tuple, list)):
+        return [_signature_to_json(item) for item in obj]
+    if isinstance(obj, bool) or obj is None or isinstance(obj, str):
+        return obj
+    if isinstance(obj, numbers.Integral):
+        return int(obj)
+    if isinstance(obj, numbers.Real):
+        return float(obj)
+    return obj
+
+
+def _signature_from_json(obj):
+    """Inverse of :func:`_signature_to_json` (lists back to tuples)."""
+    if isinstance(obj, list):
+        return tuple(_signature_from_json(item) for item in obj)
+    return obj
 
 
 @dataclass
@@ -47,18 +117,35 @@ class ComponentDatabase:
     directory: Path | None = None
     records: dict[str, _Record] = field(default_factory=dict)
 
+    #: Telemetry of the most recent :meth:`build` (queue/run/worker/cache
+    #: per task), or ``None`` when nothing needed building.
+    last_build_report: "object | None" = field(default=None, repr=False, compare=False)
+
     # -- store/fetch ------------------------------------------------------
 
     def put(self, signature: tuple, design: Design, fmax_mhz: float | None = None) -> str:
-        key = signature_key(signature)
         if fmax_mhz is None:
             fmax_mhz = design.metadata.get("ooc", {}).get("fmax_mhz", 0.0)
+        design.metadata.setdefault("component", {})["signature"] = _signature_to_json(
+            signature
+        )
+        return self.put_payload(signature, design_to_dict(design), fmax_mhz)
+
+    def put_payload(self, signature: tuple, payload: dict, fmax_mhz: float) -> str:
+        """Store an already-serialized checkpoint (the engine-worker path).
+
+        The full signature is recorded in the checkpoint metadata, so a
+        reloaded database answers :meth:`has`/:meth:`get` for the exact
+        signatures it was built with.
+        """
+        key = signature_key(signature)
+        meta = payload.setdefault("metadata", {}).setdefault("component", {})
+        meta["signature"] = _signature_to_json(signature)
         self.records[key] = _Record(
-            signature=signature, payload=design_to_dict(design), fmax_mhz=fmax_mhz
+            signature=signature, payload=payload, fmax_mhz=fmax_mhz
         )
         if self.directory is not None:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            save_checkpoint(design, self.directory / f"{key}.dcpz")
+            save_checkpoint_dict(payload, self.directory / f"{key}.dcpz")
         return key
 
     def has(self, signature: tuple) -> bool:
@@ -95,57 +182,121 @@ class ComponentDatabase:
         seed: int = 0,
         plan_ports: bool = True,
         explore: dict | None = None,
+        jobs: int = 1,
+        cache: BuildCache | None = None,
+        engine: "object | None" = None,
+        timeout_s: float | None = None,
+        retries: int = 0,
     ) -> StageTimer:
         """Pre-implement every unique component signature not yet stored.
 
         Returns the offline timer (this cost is paid once and amortized
         over every accelerator built from the database, so productivity
-        accounting keeps it separate — as the paper does).
+        accounting keeps it separate — as the paper does).  Stage totals
+        are summed task run times, identical whatever *jobs* is; the
+        concurrent wall clock is the ``build/wall`` sub-stage and
+        :attr:`last_build_report` carries the per-task telemetry.
 
         With *explore*, each component runs through the performance
         exploration of :func:`repro.rapidwright.explore.explore_component`
         (keyword arguments are forwarded, e.g. ``{"seeds": (0, 1, 2)}``)
         and the best trial is stored.
+
+        *jobs* > 1 pre-implements independent components concurrently;
+        *cache* short-circuits components whose content address is
+        already known.  Parallel builds are bit-identical to serial
+        builds — every worker runs the same seeded, pure build function.
         """
         timer = StageTimer()
+        pending: dict[str, Component] = {}
         for comp in components:
             if self.has(comp.signature):
                 continue
-            with timer.stage(f"build:{comp.kind}"):
-                if explore:
-                    from .explore import explore_component
+            pending.setdefault(signature_key(comp.signature), comp)
+        if not pending:
+            return timer
 
-                    res = explore_component(
-                        lambda c=comp: generate_component(c, rom_weights=rom_weights),
-                        self.device,
+        from ..engine import workers
+        from ..engine.executor import Engine
+        from ..engine.task import TaskGraph
+
+        runner = engine or Engine(
+            jobs=jobs, cache=cache, timeout_s=timeout_s, retries=retries
+        )
+        graph = TaskGraph()
+        for key, comp in pending.items():
+            cache_key = build_cache_key(
+                comp.signature,
+                self.device,
+                rom_weights=rom_weights,
+                effort=effort,
+                seed=seed,
+                plan_ports=plan_ports,
+                explore=explore,
+            )
+            if explore:
+                graph.add(
+                    key,
+                    workers.explore_build_component,
+                    args=(comp, self.device),
+                    kwargs=dict(
+                        rom_weights=rom_weights,
                         plan_ports=plan_ports,
-                        **explore,
-                    )
-                    self.put(comp.signature, res.best.design, res.best.fmax_mhz)
-                else:
-                    design = generate_component(comp, rom_weights=rom_weights)
-                    result: OOCResult = preimplement(
-                        design,
-                        self.device,
+                        explore=dict(explore),
+                    ),
+                    stage=f"build:{comp.kind}",
+                    cache_key=cache_key,
+                )
+            else:
+                graph.add(
+                    key,
+                    workers.build_component,
+                    args=(comp, self.device),
+                    kwargs=dict(
+                        rom_weights=rom_weights,
                         effort=effort,
                         seed=seed,
                         plan_ports=plan_ports,
-                    )
-                    self.put(comp.signature, result.design, result.fmax_mhz)
+                    ),
+                    stage=f"build:{comp.kind}",
+                    cache_key=cache_key,
+                )
+        report = runner.run(graph)
+        self.last_build_report = report
+        for key, comp in pending.items():
+            out = report.results[key]
+            self.put_payload(comp.signature, out["payload"], out["fmax_mhz"])
+        for task in report.tasks:
+            timer.add(task.stage, task.run_s)
+        timer.add("build/wall", report.wall_s)
         return timer
 
     # -- persistence -------------------------------------------------------
 
     def load_directory(self) -> int:
-        """Load all persisted checkpoints from :attr:`directory`."""
+        """Load all persisted checkpoints from :attr:`directory`.
+
+        Signatures are restored exactly from the checkpoint metadata
+        written by :meth:`put`/:meth:`put_payload`, so a freshly loaded
+        database answers :meth:`has`/:meth:`get` for the original
+        signatures.  Legacy checkpoints (repr-string metadata) keep
+        their stored filename as key and a placeholder signature.
+        """
         if self.directory is None or not self.directory.exists():
             return 0
         loaded = 0
         for path in sorted(self.directory.glob("*.dcpz")):
             design = load_checkpoint(path)
-            sig_repr = design.metadata.get("component", {}).get("signature")
-            signature = (sig_repr,) if sig_repr else (path.stem,)
-            key = path.stem
+            raw = design.metadata.get("component", {}).get("signature")
+            if isinstance(raw, (list, tuple)):
+                signature = _signature_from_json(list(raw))
+                key = signature_key(signature)
+            elif raw:
+                signature = (raw,)
+                key = path.stem
+            else:
+                signature = (path.stem,)
+                key = path.stem
             self.records[key] = _Record(
                 signature=signature,
                 payload=design_to_dict(design),

@@ -75,6 +75,8 @@ def explore_component(
     plan_ports: bool = True,
     target_fmax_mhz: float | None = None,
     anchor_weight: float = 0.0,
+    jobs: int = 1,
+    engine=None,
 ) -> ExploreResult:
     """Sweep the function-optimization space for one component.
 
@@ -82,21 +84,45 @@ def explore_component(
     ----------
     factory:
         Zero-argument callable producing a *fresh* unimplemented design
-        (each trial consumes one).
+        (each trial consumes one).  For ``jobs>1`` a picklable factory
+        (e.g. :class:`repro.engine.workers.ComponentFactory`) lets trials
+        run in worker processes; unpicklable factories silently fall back
+        to in-process execution.
     seeds / efforts / slacks / heights:
         The swept axes: placement seed, effort preset, floorplan slack,
         and pblock max-height (``None`` = the automatic aspect heuristic).
     target_fmax_mhz:
         Early exit once a trial meets this frequency (the paper's
-        "iteration to meet the constraints").
+        "iteration to meet the constraints").  With ``jobs>1`` all trials
+        are evaluated but the recorded sweep is truncated at the first
+        qualifying trial in grid order, so the result is identical to the
+        serial sweep (some work is speculative and discarded).
     anchor_weight:
         Score = Fmax + ``anchor_weight`` x (#compatible anchors); a
         positive weight trades a little frequency for reusability
         (smaller, more relocatable pblocks).
+    jobs / engine:
+        Trials are independent, so they parallelize through the
+        :class:`repro.engine.executor.Engine` worker pool; pass an engine
+        to share its cache/pool configuration.
 
     Returns the best implementation; its design is locked and ready for
     the checkpoint database.
     """
+    if jobs != 1 or engine is not None:
+        return _explore_pooled(
+            factory,
+            device,
+            seeds=seeds,
+            efforts=efforts,
+            slacks=slacks,
+            heights=heights,
+            plan_ports=plan_ports,
+            target_fmax_mhz=target_fmax_mhz,
+            anchor_weight=anchor_weight,
+            jobs=jobs,
+            engine=engine,
+        )
     result: ExploreResult | None = None
     timer = StageTimer()
     done = False
@@ -151,3 +177,84 @@ def _preimplement_with_height(
 ) -> OOCResult:
     """Pre-implement honoring an explicit pblock height override."""
     return preimplement(design, device, max_height=height, **kwargs)
+
+
+def _explore_pooled(
+    factory: Callable[[], Design],
+    device: Device,
+    *,
+    seeds: Iterable[int],
+    efforts: Iterable[str],
+    slacks: Iterable[float],
+    heights: Iterable[int | None],
+    plan_ports: bool,
+    target_fmax_mhz: float | None,
+    anchor_weight: float,
+    jobs: int,
+    engine,
+) -> ExploreResult:
+    """Engine-backed sweep: every trial is an independent task.
+
+    The trial record is assembled in grid order afterwards, reproducing
+    the serial sweep exactly (same best, same trial list, same early-exit
+    truncation) regardless of completion order.
+    """
+    from ..engine.executor import Engine
+    from ..engine.task import TaskGraph
+    from ..engine.workers import run_explore_trial
+
+    grid = [
+        (slack, height, effort, seed)
+        for slack in slacks
+        for height in heights
+        for effort in efforts
+        for seed in seeds
+    ]
+    if not grid:
+        raise ValueError("exploration space is empty (check the sweep axes)")
+
+    runner = engine or Engine(jobs=jobs)
+    graph = TaskGraph()
+    for i, (slack, height, effort, seed) in enumerate(grid):
+        graph.add(
+            f"trial{i}",
+            run_explore_trial,
+            args=(factory, device),
+            kwargs=dict(
+                seed=seed,
+                effort=effort,
+                slack=slack,
+                height=height,
+                plan_ports=plan_ports,
+            ),
+            stage="explore/trial",
+        )
+    report = runner.run(graph)
+    timer = report.timer()
+
+    result: ExploreResult | None = None
+    for i, (slack, height, effort, seed) in enumerate(grid):
+        out = report.results[f"trial{i}"]
+        ooc: OOCResult = out["ooc"]
+        anchors: int = out["anchors"]
+        trial = ExploreTrial(
+            seed=seed,
+            effort=effort,
+            slack=slack,
+            max_height=height,
+            fmax_mhz=ooc.fmax_mhz,
+            anchors=anchors,
+            pblock_area=ooc.pblock.area,
+            score=ooc.fmax_mhz + anchor_weight * anchors,
+        )
+        if result is None:
+            result = ExploreResult(best=ooc, timer=timer)
+        prev_best = max((t.score for t in result.trials), default=float("-inf"))
+        result.trials.append(trial)
+        if trial.score > prev_best:
+            result.best = ooc
+        if target_fmax_mhz is not None and ooc.fmax_mhz >= target_fmax_mhz:
+            break
+    assert result is not None
+    result.timer = timer
+    return result

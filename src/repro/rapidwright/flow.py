@@ -17,6 +17,8 @@ Two phases (paper Fig. 3):
 
 from __future__ import annotations
 
+import math
+
 from .._util import StageTimer
 from ..cnn.graph import DFG, group_components
 from ..netlist.design import Design
@@ -80,8 +82,17 @@ class PreImplementedFlow:
         granularity: str = "layer",
         rom_weights: bool = True,
         database: ComponentDatabase | None = None,
+        jobs: int = 1,
+        cache=None,
     ) -> tuple[ComponentDatabase, StageTimer]:
-        """Pre-implement every unique component of *dfg* into a database."""
+        """Pre-implement every unique component of *dfg* into a database.
+
+        ``jobs>1`` pre-implements independent components concurrently via
+        the :mod:`repro.engine` worker pool; *cache* (a
+        :class:`~repro.engine.cache.BuildCache`) answers content-addressed
+        repeats without re-running the flow.  Results are identical to a
+        serial build.
+        """
         database = database or ComponentDatabase(self.device)
         components = group_components(dfg, granularity)
         timer = database.build(
@@ -90,6 +101,8 @@ class PreImplementedFlow:
             effort=self.component_effort,
             seed=self.seed,
             plan_ports=self.plan_ports,
+            jobs=jobs,
+            cache=cache,
         )
         return database, timer
 
@@ -123,12 +136,17 @@ class PreImplementedFlow:
         database: ComponentDatabase | None = None,
         pipeline_target_mhz: float | str | None = None,
         share_components: bool = False,
+        jobs: int = 1,
+        cache=None,
     ) -> FlowResult:
         """Generate the accelerator for *dfg* from pre-built checkpoints.
 
         When *database* is ``None`` the function-optimization phase runs
         first; its cost is reported separately in
         ``result.extras["offline_s"]`` (the paper pays it once, offline).
+        *jobs* and *cache* configure that implicit build (see
+        :meth:`build_database`); they have no effect when a populated
+        database is supplied.
 
         ``pipeline_target_mhz`` enables the phys-opt pipelining pass
         (paper Sec. V-E): pass a frequency, or ``"auto"`` to target the
@@ -145,7 +163,7 @@ class PreImplementedFlow:
         if database is None or not len(database):
             database, offline = self.build_database(
                 dfg, granularity=granularity, rom_weights=rom_weights,
-                database=database,
+                database=database, jobs=jobs, cache=cache,
             )
             offline_s = offline.total
 
@@ -199,6 +217,7 @@ class PreImplementedFlow:
                     database,
                     self.device,
                     placement.anchors,
+                    modules=dict(items),
                 )
             top = stitch.top
 
@@ -214,6 +233,20 @@ class PreImplementedFlow:
         if pipeline_target_mhz == "auto":
             pipeline_target_mhz = stitch.slowest_component_mhz * 0.98
         if pipeline_target_mhz is not None:
+            try:
+                target_mhz = float(pipeline_target_mhz)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    "pipeline_target_mhz must be a frequency in MHz or 'auto', "
+                    f"got {pipeline_target_mhz!r}"
+                ) from None
+            if not math.isfinite(target_mhz) or target_mhz <= 0:
+                raise ValueError(
+                    f"pipeline_target_mhz resolved to {target_mhz!r}; the stitched "
+                    "design has no positive frequency bound (empty stitch or "
+                    "degenerate component)"
+                )
+            pipeline_target_mhz = target_mhz
             with timer.stage("phys_opt:pipeline"):
                 target_ps = 1e6 / pipeline_target_mhz - self.delays.clock_overhead_ps
                 pipe = pipeline_to_target(

@@ -56,12 +56,16 @@ def compose(
     database: ComponentDatabase,
     device: Device,
     anchors: dict[str, tuple[int, int]],
+    modules: dict[str, Design] | None = None,
 ) -> StitchResult:
     """Compose the accelerator from pre-built checkpoints.
 
     *components* must form a linear chain in dataflow order (the stock
     stream architectures); *anchors* maps component instance names to
-    relocation anchors chosen by the component placer.
+    relocation anchors chosen by the component placer.  *modules* lets the
+    caller supply already-fetched fresh copies (keyed by instance name) so
+    a component is deserialized from the database only once per run; any
+    instance missing from it is fetched here.
     """
     top = Design(name)
     result = StitchResult(top=top)
@@ -77,7 +81,10 @@ def compose(
             anchor = anchors[comp.name]
         except KeyError:
             raise DesignError(f"no anchor assigned for component {comp.name}") from None
-        module = database.get(comp.signature)
+        if modules is not None and comp.name in modules:
+            module = modules[comp.name]
+        else:
+            module = database.get(comp.signature)
         module = relocate(module, device, anchor)
         portmap = top.instantiate(module, prefix=comp.name, module=comp.name)
         result.records.append(

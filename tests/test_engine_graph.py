@@ -1,0 +1,175 @@
+"""Task graph construction and engine execution (serial + pooled)."""
+
+import time
+
+import pytest
+
+from repro.engine import Engine, GraphError, TaskError, TaskGraph, TaskRef, resolve_refs
+
+
+# Module-level so they survive pickling into pool workers.
+def _add(a, b):
+    return a + b
+
+
+def _double(x):
+    return 2 * x
+
+
+def _sleep_then(value, seconds):
+    time.sleep(seconds)
+    return value
+
+
+def _boom():
+    raise RuntimeError("kaboom")
+
+
+# -- graph structure -----------------------------------------------------------
+
+
+def test_order_is_topological_and_stable():
+    g = TaskGraph()
+    g.add("c", _double, args=(1,), deps=("a",))
+    g.add("a", _double, args=(1,))
+    g.add("b", _double, args=(1,), deps=("a",))
+    g.add("d", _double, args=(1,), deps=("b", "c"))
+    order = g.order()
+    assert order.index("a") < order.index("c")
+    assert order.index("a") < order.index("b")
+    assert order.index("d") == 3
+    # ties broken by declaration order
+    assert order.index("c") < order.index("b")
+
+
+def test_taskref_creates_implicit_dependency():
+    g = TaskGraph()
+    ref = g.add("first", _double, args=(21,))
+    assert isinstance(ref, TaskRef)
+    g.add("second", _double, args=(ref,))
+    assert g["second"].deps == ("first",)
+
+
+def test_duplicate_id_rejected():
+    g = TaskGraph()
+    g.add("x", _double, args=(1,))
+    with pytest.raises(GraphError, match="duplicate"):
+        g.add("x", _double, args=(2,))
+
+
+def test_unknown_dep_rejected():
+    g = TaskGraph()
+    g.add("x", _double, args=(1,), deps=("ghost",))
+    with pytest.raises(GraphError, match="unknown task"):
+        g.order()
+
+
+def test_cycle_rejected():
+    g = TaskGraph()
+    g.add("a", _double, args=(1,), deps=("b",))
+    g.add("b", _double, args=(1,), deps=("a",))
+    with pytest.raises(GraphError, match="cycle"):
+        g.order()
+
+
+def test_resolve_refs_nested():
+    results = {"a": 10}
+    obj = {"k": [TaskRef("a"), (TaskRef("a"), 2)], "plain": 3}
+    assert resolve_refs(obj, results) == {"k": [10, (10, 2)], "plain": 3}
+
+
+# -- serial execution ----------------------------------------------------------
+
+
+def test_serial_chain_passes_results():
+    g = TaskGraph()
+    r1 = g.add("one", _add, args=(1, 2))
+    r2 = g.add("two", _double, args=(r1,))
+    g.add("three", _add, args=(r1, r2))
+    report = Engine(jobs=1).run(g)
+    assert report.results == {"one": 3, "two": 6, "three": 9}
+    assert all(t.worker == "serial" for t in report.tasks)
+    assert report.timer().total >= 0.0
+
+
+def test_serial_retries_then_succeeds():
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise RuntimeError("not yet")
+        return "ok"
+
+    g = TaskGraph()
+    g.add("flaky", flaky, retries=5)
+    report = Engine(jobs=1).run(g)
+    assert report.results["flaky"] == "ok"
+    assert report.tasks[0].attempts == 3
+
+
+def test_serial_failure_raises_task_error():
+    g = TaskGraph()
+    g.add("bad", _boom)
+    with pytest.raises(TaskError, match="bad"):
+        Engine(jobs=1).run(g)
+
+
+# -- pooled execution ----------------------------------------------------------
+
+
+def test_pooled_matches_serial():
+    def build():
+        g = TaskGraph()
+        prev = None
+        for i in range(6):
+            args = (i, i) if prev is None else (prev, i)
+            prev = g.add(f"t{i}", _add, args=args)
+        return g
+
+    serial = Engine(jobs=1).run(build())
+    pooled = Engine(jobs=2).run(build())
+    assert pooled.results == serial.results
+    assert pooled.jobs == 2
+
+
+def test_pooled_runs_in_worker_processes():
+    g = TaskGraph()
+    for i in range(4):
+        g.add(f"t{i}", _sleep_then, args=(i, 0.05))
+    report = Engine(jobs=2).run(g)
+    workers = {t.worker for t in report.tasks}
+    assert all(w.startswith("pid:") for w in workers)
+    assert report.results == {f"t{i}": i for i in range(4)}
+
+
+def test_pooled_unpicklable_falls_back_to_serial():
+    g = TaskGraph()
+    g.add("lam", lambda: 42)
+    report = Engine(jobs=2).run(g)
+    assert report.results["lam"] == 42
+    assert report.tasks[0].worker == "serial"
+
+
+def test_pooled_timeout_raises_promptly():
+    g = TaskGraph()
+    g.add("slow", _sleep_then, args=("never", 10.0), timeout_s=0.3)
+    start = time.perf_counter()
+    with pytest.raises(TaskError, match="timed out"):
+        Engine(jobs=2).run(g)
+    assert time.perf_counter() - start < 5.0
+
+
+def test_pooled_failure_raises_task_error():
+    g = TaskGraph()
+    g.add("bad", _boom)
+    with pytest.raises(TaskError, match="kaboom"):
+        Engine(jobs=2).run(g)
+
+
+def test_telemetry_report_renders():
+    g = TaskGraph()
+    g.add("a", _add, args=(1, 1), stage="stage-a")
+    report = Engine(jobs=1).run(g)
+    text = report.telemetry()
+    assert "stage-a" in text and "a" in text

@@ -1,0 +1,178 @@
+"""Engine-backed database builds: determinism, caching, disk persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cnn import group_components
+from repro.engine import BuildCache
+from repro.engine.workers import ComponentFactory
+from repro.rapidwright import (
+    ComponentDatabase,
+    PreImplementedFlow,
+    explore_component,
+    signature_key,
+)
+from repro.rapidwright.database import build_cache_key
+from tests.conftest import make_tiny_cnn
+
+
+def _payload_blobs(db: ComponentDatabase) -> dict[str, str]:
+    """Canonical JSON of every stored checkpoint, keyed by record key."""
+    return {k: json.dumps(r.payload, sort_keys=True) for k, r in db.records.items()}
+
+
+@pytest.fixture(scope="module")
+def comps():
+    return group_components(make_tiny_cnn(), "layer")
+
+
+# -- determinism ---------------------------------------------------------------
+
+
+def test_parallel_build_bit_identical_to_serial(small_device, comps):
+    serial = ComponentDatabase(small_device)
+    serial.build(comps, rom_weights=True, effort="low", seed=0, jobs=1)
+    parallel = ComponentDatabase(small_device)
+    parallel.build(comps, rom_weights=True, effort="low", seed=0, jobs=2)
+    assert set(serial.records) == set(parallel.records)
+    assert _payload_blobs(serial) == _payload_blobs(parallel)
+    for key in serial.records:
+        assert serial.records[key].fmax_mhz == parallel.records[key].fmax_mhz
+        assert serial.records[key].signature == parallel.records[key].signature
+
+
+def test_build_telemetry_attached(small_device, comps):
+    db = ComponentDatabase(small_device)
+    timer = db.build(comps, rom_weights=True, effort="low", seed=0, jobs=2)
+    report = db.last_build_report
+    assert report is not None and report.jobs == 2
+    assert len(report.tasks) == len({c.signature for c in comps})
+    assert {t.task_id for t in report.tasks} == set(db.records)
+    # stage accounting is StageTimer-compatible and covers every kind
+    assert timer.total > 0.0
+    assert "build/wall" in timer.stages
+    for comp in comps:
+        assert f"build:{comp.kind}" in timer.stages
+
+
+# -- warm cache ----------------------------------------------------------------
+
+
+def test_warm_cache_rebuild_hits_everything(small_device, comps, tmp_path):
+    cache = BuildCache(directory=tmp_path / "cache")
+    cold = ComponentDatabase(small_device)
+    cold.build(comps, rom_weights=True, effort="low", seed=0, cache=cache)
+    assert cache.stats.puts == len(cold)
+
+    warm = ComponentDatabase(small_device)
+    timer = warm.build(comps, rom_weights=True, effort="low", seed=0, cache=cache)
+    report = warm.last_build_report
+    assert report.hit_count == len(warm) and report.miss_count == 0
+    assert _payload_blobs(warm) == _payload_blobs(cold)
+    # no component was re-implemented
+    assert sum(t.run_s for t in report.tasks) == 0.0
+    assert timer.total == 0.0
+
+
+def test_cache_key_covers_build_options(small_device, comps):
+    sig = comps[0].signature
+    base = build_cache_key(sig, small_device, effort="low", seed=0)
+    assert base == build_cache_key(sig, small_device, effort="low", seed=0)
+    assert base != build_cache_key(sig, small_device, effort="high", seed=0)
+    assert base != build_cache_key(sig, small_device, effort="low", seed=1)
+    assert base != build_cache_key(sig, small_device, effort="low", seed=0,
+                                   plan_ports=False)
+    assert base != build_cache_key(sig, small_device, effort="low", seed=0,
+                                   explore={"seeds": (0, 1)})
+
+
+# -- signature round-trip (regression: reloaded DB used to never hit) ---------
+
+
+def test_reloaded_database_hits_by_signature(small_device, comps, tmp_path):
+    db = ComponentDatabase(small_device, directory=tmp_path / "db")
+    db.build(comps, rom_weights=True, effort="low", seed=0)
+
+    reloaded = ComponentDatabase(small_device, directory=tmp_path / "db")
+    assert reloaded.load_directory() == len(db)
+    for comp in comps:
+        assert reloaded.has(comp.signature)
+        assert reloaded.get(comp.signature) is not None
+        assert reloaded.records[signature_key(comp.signature)].signature == comp.signature
+
+
+def test_signature_key_canonical_numeric_types():
+    assert signature_key(("conv", 1, 2)) == signature_key(
+        ("conv", np.int64(1), np.int64(2))
+    )
+    assert signature_key(("conv", (1, 2))) == signature_key(("conv", [1, 2]))
+    assert signature_key(("conv", 1)) != signature_key(("conv", 2))
+
+
+def test_put_records_exact_signature_in_metadata(small_device, comps):
+    db = ComponentDatabase(small_device)
+    db.build(comps[:1], rom_weights=True, effort="low", seed=0)
+    record = db.records[signature_key(comps[0].signature)]
+    stored = record.payload["metadata"]["component"]["signature"]
+    # JSON-shaped (nested lists), loss-free relative to the tuple form
+    assert json.loads(json.dumps(stored)) == stored
+    from repro.rapidwright.database import _signature_from_json
+
+    assert _signature_from_json(stored) == comps[0].signature
+
+
+# -- full flow from disk hits --------------------------------------------------
+
+
+def test_run_accelerator_entirely_from_disk(small_device, tmp_path):
+    net = make_tiny_cnn()
+    comps = group_components(net, "layer")
+    built = ComponentDatabase(small_device, directory=tmp_path / "db")
+    built.build(comps, rom_weights=True, effort="low", seed=0, jobs=2)
+
+    reloaded = ComponentDatabase(small_device, directory=tmp_path / "db")
+    assert reloaded.load_directory() == len(built)
+
+    flow = PreImplementedFlow(small_device, component_effort="low", seed=0)
+    result = flow.run(net, rom_weights=True, database=reloaded)
+    assert result.extras["offline_s"] == 0.0          # nothing re-implemented
+    assert reloaded.total_hits == len(comps)          # every component from disk
+    assert result.fmax_mhz > 0.0
+
+
+# -- parallel explore ----------------------------------------------------------
+
+
+def test_explore_jobs_matches_serial(small_device, comps):
+    factory = ComponentFactory(comps[0], rom_weights=True)
+    serial = explore_component(
+        factory, small_device, seeds=(0, 1), efforts=("low",), slacks=(1.1, 1.3)
+    )
+    pooled = explore_component(
+        factory, small_device, seeds=(0, 1), efforts=("low",), slacks=(1.1, 1.3),
+        jobs=2,
+    )
+    assert [t.score for t in pooled.trials] == [t.score for t in serial.trials]
+    assert pooled.best_trial == serial.best_trial
+    assert pooled.best.fmax_mhz == serial.best.fmax_mhz
+
+
+def test_explore_jobs_with_unpicklable_factory_falls_back(small_device, comps):
+    comp = comps[0]
+    result = explore_component(
+        lambda: ComponentFactory(comp)(), small_device,
+        seeds=(0,), efforts=("low",), jobs=2,
+    )
+    assert len(result.trials) == 1
+    assert result.best.fmax_mhz > 0.0
+
+
+def test_explore_early_exit_truncates_identically(small_device, comps):
+    factory = ComponentFactory(comps[0], rom_weights=True)
+    kwargs = dict(seeds=(0, 1, 2), efforts=("low",), target_fmax_mhz=1.0)
+    serial = explore_component(factory, small_device, **kwargs)
+    pooled = explore_component(factory, small_device, jobs=2, **kwargs)
+    # target is trivially met by the first trial: both record exactly one
+    assert len(serial.trials) == len(pooled.trials) == 1

@@ -125,3 +125,20 @@ def test_productivity_report(flow_pair):
     assert 0 <= report.stitch_fraction <= 1
     assert report.preimpl_s == pytest.approx(report.rw_s + report.route_s)
     assert "productivity" in report.summary()
+
+
+def test_pipeline_target_zero_raises_clear_error(small_device, flow_pair):
+    """A degenerate 0 MHz target must not surface as ZeroDivisionError."""
+    _, _, db, net = flow_pair
+    flow = PreImplementedFlow(small_device, component_effort="low", seed=0)
+    with pytest.raises(ValueError, match="positive frequency"):
+        flow.run(net, rom_weights=True, database=db, pipeline_target_mhz=0)
+    with pytest.raises(ValueError, match="positive frequency"):
+        flow.run(net, rom_weights=True, database=db, pipeline_target_mhz=-100.0)
+
+
+def test_pipeline_target_bad_string_raises(small_device, flow_pair):
+    _, _, db, net = flow_pair
+    flow = PreImplementedFlow(small_device, component_effort="low", seed=0)
+    with pytest.raises(ValueError, match="'auto'"):
+        flow.run(net, rom_weights=True, database=db, pipeline_target_mhz="fastest")
