@@ -1,0 +1,58 @@
+"""Tracing overhead — instrumented flow with a no-op sink vs untraced.
+
+The obs subsystem promises that instrumentation is effectively free when
+nobody listens (a ContextVar read per helper call) and cheap when a
+tracer is active.  This benchmark runs the same database build
+
+* untraced (no ambient tracer: every ``span``/``incr`` is a no-op), and
+* traced into :class:`~repro.obs.NullSink` (full span/metric machinery,
+  events discarded at the sink),
+
+and reports the ratio.  Target: ≤ 5% overhead; the assertion is looser
+(15%) to stay robust on noisy shared runners, while the measured number
+is printed for the record.
+"""
+
+import time
+
+from repro import Device
+from repro.cnn import group_components, lenet5
+from repro.obs import NullSink, Tracer
+from repro.rapidwright import ComponentDatabase
+
+from conftest import show
+
+SEED = 0
+EFFORT = "low"
+REPS = 3
+
+
+def _build(device, components, tracer=None):
+    best = float("inf")
+    for _ in range(REPS):
+        database = ComponentDatabase(device)
+        start = time.perf_counter()
+        if tracer is None:
+            database.build(components, rom_weights=False, effort=EFFORT, seed=SEED)
+        else:
+            with tracer.activate():
+                database.build(components, rom_weights=False, effort=EFFORT, seed=SEED)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_tracing_overhead_with_noop_sink():
+    device = Device.from_name("small")
+    components = group_components(lenet5(), "layer")
+
+    untraced_s = _build(device, components)
+    traced_s = _build(device, components, tracer=Tracer(NullSink()))
+
+    ratio = traced_s / untraced_s if untraced_s else float("inf")
+    show(
+        f"LeNet-5 database build, best of {REPS}:\n"
+        f"  untraced        {untraced_s:7.3f} s\n"
+        f"  traced (null)   {traced_s:7.3f} s   ({(ratio - 1) * 100:+.1f}% overhead, "
+        f"target <=5%)"
+    )
+    assert ratio <= 1.15, f"tracing overhead {ratio:.3f}x exceeds tolerance"

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .obs.span import span as _obs_span
+
 __all__ = ["make_rng", "StageTimer", "fresh_name", "manhattan"]
 
 
@@ -45,15 +47,19 @@ class StageTimer:
 
     @contextmanager
     def stage(self, name: str):
+        """Time a stage; also opens a :mod:`repro.obs` span of the same
+        name, so every ``StageTimer`` call site is traced for free (the
+        span nests under whatever span is active in the caller)."""
         start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            if name not in self.stages:
-                self.order.append(name)
-                self.stages[name] = 0.0
-            self.stages[name] += elapsed
+        with _obs_span(name):
+            try:
+                yield
+            finally:
+                elapsed = time.perf_counter() - start
+                if name not in self.stages:
+                    self.order.append(name)
+                    self.stages[name] = 0.0
+                self.stages[name] += elapsed
 
     def add(self, name: str, seconds: float) -> None:
         if name not in self.stages:
@@ -76,9 +82,16 @@ class StageTimer:
         return self.stages.get(name, 0.0) / total if total else 0.0
 
     def merged(self, other: "StageTimer") -> "StageTimer":
+        """Stage-wise sum of two timers (both inputs unchanged).
+
+        Associative and commutative up to ordering: repeated stage names
+        accumulate, a name duplicated in ``order`` is counted once, and
+        stages present in ``stages`` but missing from ``order`` (timers
+        assembled by hand) are still carried over.
+        """
         out = StageTimer()
         for src in (self, other):
-            for name in src.order:
+            for name in dict.fromkeys((*src.order, *src.stages)):
                 out.add(name, src.stages[name])
         return out
 

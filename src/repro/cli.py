@@ -14,6 +14,13 @@
 * ``floorplan --model lenet5`` — stitch and render the ASCII floorplan.
 * ``explore --component conv2`` — sweep the function-optimization space
   for one of the stock LeNet components.
+* ``trace-report out.jsonl`` — per-span/per-metric summary of a trace
+  written by ``run``/``build`` ``--trace``.
+
+``run`` and ``build`` accept ``--trace PATH`` (plus ``--trace-format
+{jsonl,chrome}``) to record the flow's span/metric trace: ``jsonl`` is
+the native line-per-event format consumed by ``trace-report``; ``chrome``
+writes a ``chrome://tracing``-loadable trace-event array.
 
 All commands accept ``--seed`` and are fully deterministic — including
 ``build --jobs N``, whose parallel results are bit-identical to serial.
@@ -22,6 +29,7 @@ All commands accept ``--seed`` and are fully deterministic — including
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -34,6 +42,7 @@ from .analysis import (
 from .cnn import MODEL_CATALOG, get_model, group_components
 from .engine import BuildCache
 from .fabric import Device, PART_CATALOG
+from .obs import ChromeTraceSink, JsonlSink, Tracer, load_events, summarize
 from .rapidwright import ComponentDatabase, PreImplementedFlow, explore_component
 from .vivado import VivadoFlow
 
@@ -54,6 +63,17 @@ _EXPLORE_TARGETS = {
         400, 120, rom_weights=True
     ),
 }
+
+
+def _add_trace_options(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record the flow's span/metric trace to PATH",
+    )
+    sub_parser.add_argument(
+        "--trace-format", default="jsonl", choices=("jsonl", "chrome"),
+        help="jsonl (repro trace-report) or chrome (chrome://tracing)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the offline database build")
     p_run.add_argument("--seed", type=int, default=0)
+    _add_trace_options(p_run)
 
     p_build = sub.add_parser(
         "build", help="pre-implement a component database (offline, parallel, cached)"
@@ -103,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--telemetry", action="store_true",
                          help="print the per-task engine telemetry table")
     p_build.add_argument("--seed", type=int, default=0)
+    _add_trace_options(p_build)
 
     p_fp = sub.add_parser("floorplan", help="stitch and render the floorplan")
     p_fp.add_argument("--model", default="lenet5", choices=sorted(MODEL_CATALOG))
@@ -119,6 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_ex.add_argument("--anchor-weight", type=float, default=0.0)
     p_ex.add_argument("--jobs", type=int, default=1,
                       help="worker processes for independent trials")
+
+    p_tr = sub.add_parser(
+        "trace-report", help="summarize a JSONL trace written by --trace"
+    )
+    p_tr.add_argument("path", help="trace file (JSONL format)")
+    p_tr.add_argument("--sort", default="total",
+                      choices=("total", "self", "count", "name"),
+                      help="span table ordering")
     return parser
 
 
@@ -242,6 +272,12 @@ def _cmd_explore(args, out) -> int:
     return 0
 
 
+def _cmd_trace_report(args, out) -> int:
+    events = load_events(args.path)
+    print(summarize(events, sort=args.sort), file=out)
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "models": _cmd_models,
@@ -249,6 +285,7 @@ _COMMANDS = {
     "build": _cmd_build,
     "floorplan": _cmd_floorplan,
     "explore": _cmd_explore,
+    "trace-report": _cmd_trace_report,
 }
 
 
@@ -256,7 +293,26 @@ def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args, out)
+    command = _COMMANDS[args.command]
+    trace_path = getattr(args, "trace", None)
+    try:
+        if not trace_path:
+            return command(args, out)
+        sink = (ChromeTraceSink(trace_path) if args.trace_format == "chrome"
+                else JsonlSink(trace_path))
+        tracer = Tracer(sink)
+        try:
+            with tracer.activate():
+                return command(args, out)
+        finally:
+            tracer.finish()
+            print(f"trace written to {trace_path} ({args.trace_format})", file=out)
+    except BrokenPipeError:
+        # stdout consumer went away (e.g. `repro trace-report ... | head`);
+        # silence the interpreter's flush-on-exit complaint and exit clean.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -32,6 +32,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from .._util import StageTimer
+from ..obs import collect as _collect
+from ..obs.span import current_tracer, incr, observe, span
 from .cache import BuildCache
 from .task import TaskGraph, TaskSpec, resolve_refs
 
@@ -104,11 +106,19 @@ class EngineReport:
         return "\n".join(lines)
 
 
-def _invoke(fn, args, kwargs):
-    """Worker-side wrapper: measure run time and report the worker pid."""
+def _invoke(fn, args, kwargs, capture_trace=False):
+    """Worker-side wrapper: measure run time and report the worker pid.
+
+    With *capture_trace* the call runs under a fresh in-process tracer
+    and the captured events ride home with the result, to be merged into
+    the parent trace (:mod:`repro.obs.collect`).
+    """
     start = time.perf_counter()
-    value = fn(*args, **kwargs)
-    return value, os.getpid(), time.perf_counter() - start
+    if capture_trace:
+        value, events = _collect.capture(fn, args, kwargs)
+    else:
+        value, events = fn(*args, **kwargs), None
+    return value, os.getpid(), time.perf_counter() - start, events
 
 
 def _looks_unpicklable(exc: BaseException) -> bool:
@@ -165,22 +175,34 @@ class Engine:
         results: dict[str, object] = {}
         telemetry: list[TaskResult] = []
 
-        pending: list[TaskSpec] = []
-        for tid in order:
-            spec = graph[tid]
-            if self.cache is not None and spec.cache_key is not None:
-                value = self.cache.get(spec.cache_key, _MISS)
-                if value is not _MISS:
-                    results[tid] = value
-                    telemetry.append(TaskResult(tid, spec.stage, "cache", "hit", 0.0, 0.0, 0))
-                    continue
-            pending.append(spec)
+        tracer = current_tracer()
+        with span("engine.run", tasks=len(order)):
+            pending: list[TaskSpec] = []
+            for tid in order:
+                spec = graph[tid]
+                if self.cache is not None and spec.cache_key is not None:
+                    value = self.cache.get(spec.cache_key, _MISS)
+                    if value is not _MISS:
+                        results[tid] = value
+                        telemetry.append(
+                            TaskResult(tid, spec.stage, "cache", "hit", 0.0, 0.0, 0)
+                        )
+                        incr("cache.hit")
+                        if tracer is not None:
+                            tracer.emit_span(
+                                "engine.task",
+                                t0=time.perf_counter(),
+                                dur=0.0,
+                                attrs={"task": tid, "stage": spec.stage, "cache": "hit"},
+                            )
+                        continue
+                pending.append(spec)
 
-        if pending:
-            if self.jobs == 1:
-                self._run_serial(pending, results, telemetry)
-            else:
-                self._run_pooled(pending, results, telemetry)
+            if pending:
+                if self.jobs == 1:
+                    self._run_serial(pending, results, telemetry)
+                else:
+                    self._run_pooled(pending, results, telemetry)
 
         return EngineReport(
             jobs=self.jobs,
@@ -219,21 +241,27 @@ class Engine:
             kwargs = resolve_refs(spec.kwargs, results)
             attempts = 0
             budget = self._retries_for(spec)
-            while True:
-                attempts += 1
-                start = time.perf_counter()
-                try:
-                    value = spec.fn(*args, **kwargs)
-                    break
-                except Exception as exc:
-                    if attempts > budget:
-                        raise TaskError(spec.id, f"failed after {attempts} attempts: {exc}",
-                                        cause=exc) from exc
+            status = self._cache_status(spec)
+            with span("engine.task", task=spec.id, stage=spec.stage, cache=status):
+                while True:
+                    attempts += 1
+                    start = time.perf_counter()
+                    try:
+                        value = spec.fn(*args, **kwargs)
+                        break
+                    except Exception as exc:
+                        if attempts > budget:
+                            raise TaskError(
+                                spec.id, f"failed after {attempts} attempts: {exc}",
+                                cause=exc,
+                            ) from exc
             run_s = time.perf_counter() - start
+            if status == "miss":
+                incr("cache.miss")
             results[spec.id] = value
             self._store(spec, value)
             telemetry.append(TaskResult(
-                spec.id, spec.stage, "serial", self._cache_status(spec), 0.0, run_s, attempts
+                spec.id, spec.stage, "serial", status, 0.0, run_s, attempts
             ))
 
     # -- pooled ------------------------------------------------------------
@@ -273,22 +301,43 @@ class Engine:
         inflight: dict[Future, _Flight] = {}
         done_count = 0
 
+        tracer = current_tracer()
+
         def submit(tid: str) -> None:
             spec = specs[tid]
             args = resolve_refs(spec.args, results)
             kwargs = resolve_refs(spec.kwargs, results)
             attempts[tid] += 1
-            future = pool.submit(_invoke, spec.fn, args, kwargs)
+            future = pool.submit(
+                _invoke, spec.fn, args, kwargs, tracer is not None
+            )
             inflight[future] = _Flight(
                 spec, time.perf_counter(), self._deadline_for(spec), attempts[tid]
             )
 
-        def finish(spec: TaskSpec, value, worker: str, queue_s: float, run_s: float) -> None:
+        def finish(spec: TaskSpec, value, worker: str, queue_s: float, run_s: float,
+                   *, t0: float | None = None, events: list | None = None,
+                   emit: bool = True) -> None:
             nonlocal done_count
+            status = self._cache_status(spec)
+            if status == "miss":
+                incr("cache.miss")
+            observe("engine.queue_ms", max(0.0, queue_s) * 1e3)
+            if emit and tracer is not None:
+                # Synthetic task span timed by the parent; the worker's own
+                # spans re-parent under it.
+                span_id = tracer.emit_span(
+                    "engine.task",
+                    t0=t0 if t0 is not None else time.perf_counter() - run_s,
+                    dur=run_s,
+                    attrs={"task": spec.id, "stage": spec.stage, "cache": status},
+                )
+                if events:
+                    _collect.merge(tracer, events, parent_id=span_id)
             results[spec.id] = value
             self._store(spec, value)
             telemetry.append(TaskResult(
-                spec.id, spec.stage, worker, self._cache_status(spec),
+                spec.id, spec.stage, worker, status,
                 max(0.0, queue_s), run_s, attempts[spec.id],
             ))
             done_count += 1
@@ -303,10 +352,13 @@ class Engine:
             kwargs = resolve_refs(spec.kwargs, results)
             start = time.perf_counter()
             try:
-                value = spec.fn(*args, **kwargs)
+                with span("engine.task", task=spec.id, stage=spec.stage,
+                          cache=self._cache_status(spec)):
+                    value = spec.fn(*args, **kwargs)
             except Exception as exc:
                 raise TaskError(spec.id, f"failed in serial fallback: {exc}", cause=exc) from exc
-            finish(spec, value, "serial", queue_s, time.perf_counter() - start)
+            finish(spec, value, "serial", queue_s, time.perf_counter() - start,
+                   emit=False)
 
         try:
             while done_count < len(specs):
@@ -324,7 +376,7 @@ class Engine:
                     flight = inflight.pop(future)
                     spec = flight.spec
                     try:
-                        value, pid, run_s = future.result()
+                        value, pid, run_s, events = future.result()
                     except BrokenProcessPool:
                         raise
                     except Exception as exc:
@@ -340,7 +392,8 @@ class Engine:
                             ) from exc
                         continue
                     finish(spec, value, f"pid:{pid}",
-                           now - flight.submitted_at - run_s, run_s)
+                           now - flight.submitted_at - run_s, run_s,
+                           t0=now - run_s, events=events)
                 # Enforce per-task deadlines on whatever is still running.
                 for future, flight in list(inflight.items()):
                     if flight.deadline is not None and now > flight.deadline:

@@ -10,6 +10,7 @@ now-dangling boundary nets.
 
 from __future__ import annotations
 
+from ..obs.span import incr
 from .design import Design, DesignError
 from .net import Net, Port
 
@@ -38,6 +39,7 @@ def bridge_ports(
     net = top.connect(name, out_net.driver, list(in_net.sinks), width=width)
     del top.nets[out_net_name]
     del top.nets[in_net_name]
+    incr("stitch.bridged")
     return net
 
 
@@ -69,4 +71,5 @@ def merge_clock_nets(top: Design, name: str = "clk") -> Port:
     sinks = [c.name for c in top.cells.values() if c.seq]
     net = Net(f"{name}_net", None, sinks, is_clock=True)
     top.add_net(net)
+    incr("stitch.clock_sinks", len(sinks))
     return top.add_port(Port(name, "in", net.name, width=1))

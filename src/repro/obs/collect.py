@@ -1,0 +1,68 @@
+"""Cross-process trace collection.
+
+Pooled engine tasks run in worker processes where the parent's tracer
+does not exist.  The contract:
+
+* the worker runs its task under a fresh in-memory tracer
+  (:func:`capture`) and ships the finished events back with the result —
+  plain dicts, so they ride the existing pickle channel;
+* the parent re-parents and re-ids those events into its own trace
+  (:func:`merge`), folding worker metric summaries into the parent
+  registry instead of duplicating them.
+
+Both halves are deterministic given deterministic workloads: ids are
+remapped, and anything volatile (timings, pids) is carried but never
+used for structure.
+"""
+
+from __future__ import annotations
+
+from .sinks import InMemorySink
+from .span import Tracer, _stack
+
+__all__ = ["capture", "merge"]
+
+
+def capture(fn, args=(), kwargs=None) -> tuple[object, list[dict]]:
+    """Run ``fn(*args, **kwargs)`` under a fresh tracer; return
+    ``(value, events)`` where *events* includes span, sample, and metric
+    summary events, ready for :func:`merge` in another process."""
+    sink = InMemorySink()
+    tracer = Tracer(sink)
+    # A forked worker inherits the parent's span stack; those ids belong
+    # to the parent tracer's id space, so the capture must start clean or
+    # worker roots would parent onto foreign (and colliding) ids.
+    token = _stack.set(())
+    try:
+        with tracer.activate():
+            value = fn(*args, **(kwargs or {}))
+    finally:
+        _stack.reset(token)
+    tracer.finish()
+    return value, sink.events
+
+
+def merge(tracer: Tracer, events: list[dict], *, parent_id: int | None = None) -> None:
+    """Fold captured worker *events* into *tracer*.
+
+    Span ids are remapped onto the parent tracer's id space; worker root
+    spans (parent ``None`` in the worker) attach under *parent_id*.
+    Metric summaries aggregate into the parent registry — they surface
+    once, at the parent's :meth:`~repro.obs.span.Tracer.finish`.
+    """
+    id_map: dict[int, int] = {}
+    for event in events:
+        if event.get("ph") == "span":
+            id_map[event["id"]] = tracer.new_id()
+    for event in events:
+        ph = event.get("ph")
+        if ph == "span":
+            event = dict(event)
+            event["id"] = id_map[event["id"]]
+            parent = event.get("parent")
+            event["parent"] = id_map[parent] if parent in id_map else parent_id
+            tracer.emit(event)
+        elif ph == "metric":
+            tracer.metrics.merge_event(event)
+        else:
+            tracer.emit(event)

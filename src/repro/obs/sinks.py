@@ -1,0 +1,134 @@
+"""Trace event sinks.
+
+A sink receives finished events (span / sample / metric dicts, see
+:mod:`repro.obs.span` for the schema) one at a time and owns their
+persistence:
+
+* :class:`NullSink` — drops everything; used to measure tracing overhead
+  and as the safe default when only metrics are wanted.
+* :class:`InMemorySink` — appends to a list; the test and worker-capture
+  sink.
+* :class:`JsonlSink` — one JSON object per line, streamed to disk
+  (``repro run --trace out.jsonl``).
+* :class:`ChromeTraceSink` — buffers, then writes a ``chrome://tracing``
+  / Perfetto-compatible JSON array of trace events on :meth:`close`.
+
+Sinks are called under the tracer's lock, so implementations need no
+locking of their own.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["Sink", "NullSink", "InMemorySink", "JsonlSink", "ChromeTraceSink"]
+
+
+class Sink:
+    """Interface: override :meth:`emit`; :meth:`close` is optional."""
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class NullSink(Sink):
+    """Discards every event (tracing scaffolding with zero retention)."""
+
+    def emit(self, event: dict) -> None:
+        pass
+
+
+class InMemorySink(Sink):
+    """Keeps events in a list — tests and worker-process capture."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def drain(self) -> list[dict]:
+        events, self.events = self.events, []
+        return events
+
+
+class JsonlSink(Sink):
+    """Streams events to *path* as JSON Lines."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def emit(self, event: dict) -> None:
+        self._fh.write(json.dumps(event, sort_keys=True))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class ChromeTraceSink(Sink):
+    """Writes a Chrome trace-event JSON array on close.
+
+    Spans become complete (``"ph": "X"``) events with microsecond
+    timestamps normalized to the earliest span; samples become counter
+    (``"ph": "C"``) events so congestion/cost curves plot as tracks.
+    Metric summaries are attached as instant events at the end of the
+    trace.  The output is a plain JSON array — loadable by
+    ``chrome://tracing`` and Perfetto.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self._events.append(event)
+
+    def close(self) -> None:
+        t_base = min(
+            (ev["t0"] for ev in self._events if ev.get("ph") == "span"),
+            default=0.0,
+        )
+        t_base = min(
+            t_base,
+            min((ev["t"] for ev in self._events if ev.get("ph") == "sample"),
+                default=t_base),
+        )
+        out: list[dict] = []
+        t_last = 0.0
+        for ev in self._events:
+            ph = ev.get("ph")
+            pid = ev.get("pid", 0)
+            if ph == "span":
+                ts = (ev["t0"] - t_base) * 1e6
+                dur = ev["dur"] * 1e6
+                t_last = max(t_last, ts + dur)
+                out.append({
+                    "name": ev["name"], "ph": "X", "ts": ts, "dur": dur,
+                    "pid": pid, "tid": ev.get("tid", pid),
+                    "args": ev.get("attrs", {}),
+                })
+            elif ph == "sample":
+                ts = (ev["t"] - t_base) * 1e6
+                t_last = max(t_last, ts)
+                out.append({
+                    "name": ev["name"], "ph": "C", "ts": ts,
+                    "pid": pid, "tid": ev.get("tid", pid),
+                    "args": {ev["name"]: ev["value"]},
+                })
+            elif ph == "metric":
+                out.append({
+                    "name": f"metric:{ev['name']}", "ph": "i", "ts": t_last,
+                    "pid": 0, "tid": 0, "s": "g",
+                    "args": {k: v for k, v in ev.items() if k not in ("ph", "name")},
+                })
+        with open(self.path, "w", encoding="utf-8") as fh:
+            json.dump(out, fh)

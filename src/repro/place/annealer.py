@@ -19,6 +19,7 @@ import math
 import numpy as np
 
 from .._util import make_rng
+from ..obs.span import incr, sample
 from .problem import PlacementProblem
 
 __all__ = ["anneal", "AnnealStats"]
@@ -222,10 +223,14 @@ def anneal(
             if j is not None:
                 xs[j], ys[j] = float(tcol), float(trow)
         temperature *= alpha
-        # keep the best state seen (SA may end on an uphill excursion)
-        if running < best_cost and step % checkpoint_every == 0:
-            best_cost = running
-            best_state = (list(xs), list(ys))
+        # keep the best state seen (SA may end on an uphill excursion);
+        # the same batch boundary drives the cost/temperature telemetry
+        if step % checkpoint_every == 0:
+            if running < best_cost:
+                best_cost = running
+                best_state = (list(xs), list(ys))
+            sample("place.cost", running, step=step)
+            sample("place.temperature", temperature, step=step)
 
     if running > best_cost:
         xs, ys = best_state
@@ -295,4 +300,7 @@ def anneal(
     for i in range(n):
         sites[i, 0] = int(xs[i])
         sites[i, 1] = int(ys[i])
+    incr("place.moves", budget)
+    incr("place.accepted", accepted)
+    sample("place.cost", min(final_cost, initial_cost))
     return AnnealStats(budget, accepted, initial_cost, min(final_cost, initial_cost))

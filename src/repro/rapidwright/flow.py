@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 
 from .._util import StageTimer
+from ..obs.span import set_gauge, span
 from ..cnn.graph import DFG, group_components
 from ..netlist.design import Design
 from ..fabric.device import Device
@@ -94,16 +95,17 @@ class PreImplementedFlow:
         serial build.
         """
         database = database or ComponentDatabase(self.device)
-        components = group_components(dfg, granularity)
-        timer = database.build(
-            components,
-            rom_weights=rom_weights,
-            effort=self.component_effort,
-            seed=self.seed,
-            plan_ports=self.plan_ports,
-            jobs=jobs,
-            cache=cache,
-        )
+        with span("flow.build_database", model=dfg.name, granularity=granularity):
+            components = group_components(dfg, granularity)
+            timer = database.build(
+                components,
+                rom_weights=rom_weights,
+                effort=self.component_effort,
+                seed=self.seed,
+                plan_ports=self.plan_ports,
+                jobs=jobs,
+                cache=cache,
+            )
         return database, timer
 
     def _scheduler_for(self, components) -> "Design":
@@ -159,6 +161,34 @@ class PreImplementedFlow:
         scheduler — fewer resources, one pass of latency per logical
         layer.
         """
+        with span("flow.run", flow="preimpl", model=dfg.name,
+                  granularity=granularity) as run_span:
+            result = self._run(
+                dfg,
+                granularity=granularity,
+                rom_weights=rom_weights,
+                database=database,
+                pipeline_target_mhz=pipeline_target_mhz,
+                share_components=share_components,
+                jobs=jobs,
+                cache=cache,
+            )
+            run_span.set(fmax_mhz=round(result.fmax_mhz, 3))
+        set_gauge("flow.fmax_mhz", result.fmax_mhz)
+        return result
+
+    def _run(
+        self,
+        dfg: DFG,
+        *,
+        granularity: str = "layer",
+        rom_weights: bool = True,
+        database: ComponentDatabase | None = None,
+        pipeline_target_mhz: float | str | None = None,
+        share_components: bool = False,
+        jobs: int = 1,
+        cache=None,
+    ) -> FlowResult:
         offline_s = 0.0
         if database is None or not len(database):
             database, offline = self.build_database(

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from ..fabric.device import Device
 from ..fabric.pblock import PBlock
 from ..netlist.design import Design, DesignError
+from ..obs.span import incr, span
 from .module import candidate_anchors
 
 __all__ = ["ComponentPlacer", "ComponentPlacement", "PlacementInfeasible"]
@@ -140,6 +141,18 @@ class ComponentPlacer:
         """Assign anchors to *items* (BFS order) with *connections* between
         them (index pairs).  Raises :class:`PlacementInfeasible` when the
         bounded backtracking search fails."""
+        with span("place.components", components=len(items)) as place_span:
+            result = self._place(items, connections)
+            place_span.set(attempts=result.attempts, backtracks=result.backtracks)
+        incr("place.component_attempts", result.attempts)
+        incr("place.component_backtracks", result.backtracks)
+        return result
+
+    def _place(
+        self,
+        items: list[tuple[str, Design]],
+        connections: list[tuple[int, int]],
+    ) -> ComponentPlacement:
         import numpy as np
 
         result = ComponentPlacement()

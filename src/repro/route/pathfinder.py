@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .._util import StageTimer, make_rng
+from ..obs.span import incr, observe, sample
 from ..fabric.device import Device
 from ..fabric.interconnect import RoutingGraph
 from ..netlist.design import Design, DesignError
@@ -172,6 +173,7 @@ class Router:
         for iteration in range(self.max_iters):
             iterations = iteration + 1
             failed = 0
+            ripped = 0
             with timer.stage("route/iterate"):
                 over = np.maximum(occupancy - capacity, 0.0) / capacity
                 node_cost = 1.0 + pres_fac * over + self.hist_fac * history
@@ -182,6 +184,7 @@ class Router:
                     if tgt.path is not None:
                         if iteration and not _path_overused(tgt.path, occupancy, capacity):
                             continue  # keep clean paths; reroute congested ones
+                        ripped += 1
                         for node in tgt.path[1:-1]:
                             usage[node] -= 1
                             if usage[node] == 0:
@@ -227,6 +230,8 @@ class Router:
 
             overused = occupancy > capacity
             n_over = int(np.count_nonzero(overused))
+            incr("route.ripup", ripped)
+            sample("route.overuse", n_over, iteration=iterations)
             if n_over == 0 and failed == 0:
                 break
             history += np.maximum(occupancy - capacity, 0.0) / capacity
@@ -242,6 +247,10 @@ class Router:
                 wirelength += self.graph.path_tiles(tgt.path)
 
         n_over_final = int(np.count_nonzero(occupancy > capacity))
+        incr("route.connections", len(targets))
+        incr("route.failed", sum(1 for t in targets if t.path is None))
+        incr("route.iterations", iterations)
+        observe("route.wirelength", wirelength)
         return RouteResult(
             routed=sum(1 for t in targets if t.path is not None),
             failed=sum(1 for t in targets if t.path is None),

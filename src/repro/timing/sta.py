@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from ..fabric.device import Device
 from ..fabric.interconnect import RoutingGraph
 from ..netlist.design import Design
+from ..obs.span import incr, span
 from .delays import DEFAULT_DELAYS, DelayModel
 
 __all__ = ["TimingReport", "TimingError", "analyze", "fmax_mhz"]
@@ -66,6 +67,23 @@ def analyze(
     delays: DelayModel = DEFAULT_DELAYS,
 ) -> TimingReport:
     """Run STA on *design* and return the worst register-to-register path."""
+    with span("timing.sta", design=design.name) as sta_span:
+        report = _analyze(design, device, graph, delays, sta_span)
+    # Critical-path attribution: charge each hop to its module (the cell
+    # name prefix), so a trace shows *which component* bounds Fmax.
+    for cell, _net in report.critical_path:
+        module = cell.split("/", 1)[0] if "/" in cell else "<top>"
+        incr(f"timing.critical.{module}")
+    return report
+
+
+def _analyze(
+    design: Design,
+    device: Device | None,
+    graph: RoutingGraph | None,
+    delays: DelayModel,
+    sta_span,
+) -> TimingReport:
     cells = design.cells
     # Incoming data edges per cell: (src_cell, net_name, delay_ps)
     fan_in: dict[str, list[tuple[str, str, float]]] = {name: [] for name in cells}
@@ -144,6 +162,7 @@ def analyze(
     if worst_end is None:
         # Purely combinational or empty design: report logic depth only.
         worst = max(out_time.values(), default=0.0)
+        sta_span.set(period_ps=round(worst, 3), endpoints=0)
         return TimingReport(design.name, worst, delays.clock_overhead_ps, [], 0)
 
     # Reconstruct the critical path.
@@ -159,6 +178,7 @@ def analyze(
         guard += 1
     path.reverse()
 
+    sta_span.set(period_ps=round(worst, 3), endpoints=n_paths, depth=len(path))
     return TimingReport(design.name, worst, delays.clock_overhead_ps, path, n_paths)
 
 

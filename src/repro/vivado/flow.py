@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .._util import StageTimer
+from ..obs.span import span
 from ..cnn.graph import DFG
 from ..fabric.device import Device
 from ..fabric.interconnect import RoutingGraph
@@ -100,13 +101,16 @@ class VivadoFlow:
         rom_weights: bool = True,
     ) -> FlowResult:
         """Synthesize and implement a CNN end to end."""
-        timer = StageTimer()
-        with timer.stage("synth"):
-            synthesis: NetworkSynthesis = synthesize_network(
-                dfg, granularity=granularity, rom_weights=rom_weights
-            )
-        result = self.implement(synthesis.top, timer=timer)
-        result.extras["synthesis"] = synthesis
+        with span("flow.run", flow="baseline", model=dfg.name,
+                  granularity=granularity) as run_span:
+            timer = StageTimer()
+            with timer.stage("synth"):
+                synthesis: NetworkSynthesis = synthesize_network(
+                    dfg, granularity=granularity, rom_weights=rom_weights
+                )
+            result = self.implement(synthesis.top, timer=timer)
+            result.extras["synthesis"] = synthesis
+            run_span.set(fmax_mhz=round(result.fmax_mhz, 3))
         return result
 
     def implement(self, design: Design, *, timer: StageTimer | None = None) -> FlowResult:

@@ -9,6 +9,7 @@ pointless).
 
 import pytest
 
+from repro.obs import InMemorySink, Tracer, canonical_tree_blob
 from repro.rapidwright import ComponentDatabase, PreImplementedFlow
 from repro.vivado import VivadoFlow
 from tests.conftest import make_tiny_cnn
@@ -51,6 +52,33 @@ def test_preimplemented_flow_deterministic(small_device):
     anchors_a = [r.anchor for r in a.extras["stitch"].records]
     anchors_b = [r.anchor for r in b.extras["stitch"].records]
     assert anchors_a == anchors_b
+
+
+def _traced_run(small_device, *, jobs: int):
+    """One pre-implemented flow run under a tracer; returns its events."""
+    sink = InMemorySink()
+    tracer = Tracer(sink)
+    with tracer.activate():
+        flow = PreImplementedFlow(small_device, component_effort="low", seed=5)
+        db, _ = flow.build_database(make_tiny_cnn(), jobs=jobs)
+        flow.run(make_tiny_cnn(), database=db)
+    tracer.finish()
+    return sink.events
+
+
+def test_trace_span_tree_deterministic_same_seed(small_device):
+    """Same seed, same jobs => byte-identical canonical span tree."""
+    a = _traced_run(small_device, jobs=1)
+    b = _traced_run(small_device, jobs=1)
+    assert canonical_tree_blob(a) == canonical_tree_blob(b)
+
+
+def test_trace_span_tree_serial_parallel_equal(small_device):
+    """The span tree (names + attrs, timings excluded) must not depend on
+    whether component builds ran in-process or in a worker pool."""
+    serial = _traced_run(small_device, jobs=1)
+    parallel = _traced_run(small_device, jobs=2)
+    assert canonical_tree_blob(serial) == canonical_tree_blob(parallel)
 
 
 def test_database_checkpoints_independent_of_consumer(small_device):

@@ -1,0 +1,102 @@
+"""Property tests for placement (repro.place.legalize + repro.place.annealer).
+
+Hypothesis over random connected designs on the small part:
+
+* legalization assigns every movable cell a distinct site that belongs to
+  its resource type's pool (hence on-fabric, inside the region);
+* annealing only moves cells between legal sites — the placement stays
+  distinct and on-pool — and its reported cost never gets worse than the
+  initial legalized cost (best-seen restoration);
+* the full :func:`place_design` facade produces a design that passes
+  :meth:`Design.validate` against the device.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro._util import make_rng
+from repro.fabric import Device
+from repro.netlist import Design
+from repro.place import place_design
+from repro.place.annealer import anneal
+from repro.place.global_place import global_place
+from repro.place.legalize import legalize
+from repro.place.problem import PlacementProblem
+
+SMALL = Device.from_name("small")
+
+
+@st.composite
+def placement_designs(draw):
+    """Random SLICE/DSP designs with random multi-sink connectivity."""
+    seed = draw(st.integers(0, 10_000))
+    n_slice = draw(st.integers(2, 14))
+    n_dsp = draw(st.integers(0, 2))
+    rng = np.random.default_rng(seed)
+    design = Design(f"pl{seed}")
+    names = []
+    for i in range(n_slice):
+        design.new_cell(f"c{i}", "SLICE", luts=1)
+        names.append(f"c{i}")
+    for i in range(n_dsp):
+        design.new_cell(f"m{i}", "DSP48E2")
+        names.append(f"m{i}")
+    for k in range(draw(st.integers(1, 8))):
+        driver = names[int(rng.integers(0, len(names)))]
+        sinks = sorted(
+            {names[int(s)] for s in rng.integers(0, len(names), size=int(rng.integers(1, 4)))}
+            - {driver}
+        )
+        if sinks:
+            design.connect(f"n{k}", driver, sinks, width=int(rng.integers(1, 4)))
+    return design, seed
+
+
+def _legal(problem: PlacementProblem, sites: np.ndarray) -> None:
+    assert sites.shape == (problem.n_movable, 2)
+    taken = {tuple(s) for s in sites.tolist()}
+    assert len(taken) == problem.n_movable, "two cells share a site"
+    for i, ctype in enumerate(problem.ctypes):
+        pool = {(int(c), int(r)) for c, r in problem.site_pools[ctype]}
+        site = (int(sites[i, 0]), int(sites[i, 1]))
+        assert site in pool, f"{problem.names[i]} ({ctype}) off its pool at {site}"
+        assert 0 <= site[0] < SMALL.ncols and 0 <= site[1] < SMALL.nrows
+
+
+@settings(max_examples=25, deadline=None)
+@given(placement_designs())
+def test_legalize_assigns_distinct_on_pool_sites(case):
+    design, seed = case
+    problem = PlacementProblem.from_design(design, SMALL)
+    rng = make_rng(seed)
+    pos = global_place(problem, rng, iters=5)
+    sites = legalize(problem, pos)
+    _legal(problem, sites)
+
+
+@settings(max_examples=20, deadline=None)
+@given(placement_designs())
+def test_anneal_keeps_legality_and_never_worse(case):
+    design, seed = case
+    problem = PlacementProblem.from_design(design, SMALL)
+    rng = make_rng(seed)
+    sites = legalize(problem, global_place(problem, rng, iters=5))
+    stats = anneal(problem, sites, seed=rng, moves_per_cell=20, max_moves=2_000)
+    _legal(problem, sites)
+    assert stats.final_cost <= stats.initial_cost + 1e-9
+    assert 0 <= stats.accepted <= stats.moves
+    assert 0.0 <= stats.improvement <= 1.0 or stats.initial_cost == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(placement_designs())
+def test_place_design_yields_valid_placement(case):
+    design, seed = case
+    result = place_design(design, SMALL, effort="low", seed=seed)
+    assert result.n_cells == sum(1 for c in design.cells.values() if not c.locked)
+    design.validate(SMALL)  # in bounds, on matching tiles, one cell per site
+    assert all(cell.is_placed for cell in design.cells.values())
+    if result.anneal is not None:
+        assert result.anneal.final_cost <= result.anneal.initial_cost + 1e-9

@@ -1,0 +1,120 @@
+"""Property tests for PathFinder (repro.route.pathfinder).
+
+Hypothesis over random multi-fanout routing problems on the small part:
+
+* a successful route never leaves a wire over capacity (occupancy
+  recomputed from the committed paths, with per-net trunk sharing);
+* every committed path is a connected walk on the fabric from the
+  driver's node to the sink's node (single or hex wire hops only,
+  never leaving the device);
+* rerouting an already-routed design is a no-op: the router reports the
+  old connections as preexisting, routes nothing, and leaves every path
+  byte-identical.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.fabric import Device, RoutingGraph, TileType
+from repro.fabric.interconnect import HEX_REACH
+from repro.netlist import Design
+from repro.route import Router
+
+SMALL = Device.from_name("small")
+CLB_COLS = [int(c) for c in SMALL.columns_of(TileType.CLB)]
+
+
+@st.composite
+def routing_problems(draw):
+    """A design of random placed cell pairs joined by multi-sink nets."""
+    rng_seed = draw(st.integers(0, 10_000))
+    n_nets = draw(st.integers(1, 6))
+    rng = np.random.default_rng(rng_seed)
+    design = Design(f"prop{rng_seed}")
+    for i in range(n_nets):
+        col = CLB_COLS[int(rng.integers(0, len(CLB_COLS)))]
+        row = int(rng.integers(0, SMALL.nrows))
+        design.new_cell(f"d{i}", "SLICE", placement=(col, row), luts=1)
+        sinks = []
+        for j in range(draw(st.integers(1, 3))):
+            scol = CLB_COLS[int(rng.integers(0, len(CLB_COLS)))]
+            srow = int(rng.integers(0, SMALL.nrows))
+            name = f"s{i}_{j}"
+            design.new_cell(name, "SLICE", placement=(scol, srow), luts=1)
+            sinks.append(name)
+        design.connect(f"n{i}", f"d{i}", sinks, width=draw(st.integers(1, 8)))
+    return design, rng_seed
+
+
+def _recomputed_occupancy(design: Design, graph: RoutingGraph) -> np.ndarray:
+    occupancy = np.zeros(graph.n_nodes)
+    for net in design.nets.values():
+        used = set()
+        for path in net.routes:
+            used.update((path or [])[1:-1])
+        for node in used:
+            occupancy[node] += net.width
+    return occupancy
+
+
+@settings(max_examples=25, deadline=None)
+@given(routing_problems())
+def test_successful_route_has_zero_overuse(problem):
+    design, seed = problem
+    graph = RoutingGraph(SMALL)
+    result = Router(SMALL, graph, seed=seed).route(design)
+    assert result.routed + result.failed == sum(
+        len(net.sinks) for net in design.nets.values()
+    )
+    if result.success:
+        assert result.overused_nodes == 0
+        occupancy = _recomputed_occupancy(design, graph)
+        assert (occupancy <= graph.capacity).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(routing_problems())
+def test_routes_are_connected_driver_to_sink_walks(problem):
+    design, seed = problem
+    graph = RoutingGraph(SMALL)
+    nrows = SMALL.nrows
+    Router(SMALL, graph, seed=seed).route(design)
+    for net in design.nets.values():
+        driver = design.cells[net.driver]
+        for i, sink_name in enumerate(net.sinks):
+            path = net.routes[i]
+            assert path is not None, f"{net.name}[{i}] left unrouted"
+            assert path[0] == graph.node_id(*driver.placement)
+            assert path[-1] == graph.node_id(*design.cells[sink_name].placement)
+            for node in path:
+                assert 0 <= node < graph.n_nodes
+            for a, b in zip(path, path[1:]):
+                dcol = abs(b // nrows - a // nrows)
+                drow = abs(b % nrows - a % nrows)
+                # one hop along one axis: a single wire or a hex wire
+                assert (dcol, drow) in {
+                    (1, 0), (0, 1), (HEX_REACH, 0), (0, HEX_REACH),
+                }, f"illegal hop {a}->{b} on {net.name}"
+
+
+@settings(max_examples=15, deadline=None)
+@given(routing_problems())
+def test_rerouting_routed_design_is_noop(problem):
+    design, seed = problem
+    first = Router(SMALL, seed=seed).route(design)
+    if first.failed:
+        return  # only fully-routed designs make the no-op claim
+    snapshot = {
+        name: copy.deepcopy(net.routes) for name, net in design.nets.items()
+    }
+    second = Router(SMALL, seed=seed + 1).route(design)
+    assert second.routed == 0
+    assert second.failed == 0
+    assert second.preexisting == first.routed + first.preexisting
+    assert second.wirelength == 0
+    for name, net in design.nets.items():
+        assert net.routes == snapshot[name]
