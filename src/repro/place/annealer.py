@@ -10,6 +10,19 @@ better QoR on smaller designs".
 High-fanout nets (above ``max_pins``) are excluded from the incremental
 objective, as in production placers; their HPWL barely changes under
 single-cell moves.
+
+Hot-path layout: every net carries a cached bounding box
+``(x0, x1, y0, y1)`` over its movable *and* fixed pins.  A move that
+displaces a pin from the box's strict interior updates the box in O(1)
+(the box can only grow toward the new position); only a pin leaving from
+the boundary forces a rescan of that net's pins.  Swaps *within* a net
+permute pin positions without changing the multiset, so those nets are
+skipped outright.  The initial boxes and costs — and the refresh after
+restoring the best-seen state — are computed for all nets at once with
+``np.minimum.reduceat``/``np.maximum.reduceat``.  All of it is
+bit-identical to the rescan-everything reference implementation
+(:func:`repro.place._annealer_reference.anneal_reference`), which the
+property suite asserts.
 """
 
 from __future__ import annotations
@@ -54,8 +67,20 @@ class AnnealStats:
 #: annealer a timing-driven gradient that plain total-HPWL lacks.
 _QUAD_K = 120.0
 
+#: Site-key stride for the int-encoded ``col * _ENC + row`` occupancy and
+#: pool-membership keys (larger than any fabric dimension).
+_ENC = 1 << 14
+
+#: Sentinel past any net index for the sorted-merge walk over net lists.
+_BIG = 1 << 60
+
 
 def _net_cost(pins_m, fixed, xs, ys, weight) -> float:
+    """HPWL-based cost of one net over movable and fixed pins.
+
+    Degenerate nets are handled: with no movable pins the bounding box is
+    seeded from the fixed pins, and a net with no pins at all costs 0.0.
+    """
     x0 = x1 = None
     for i in pins_m:
         x = xs[i]
@@ -69,12 +94,50 @@ def _net_cost(pins_m, fixed, xs, ys, weight) -> float:
             if y < y0: y0 = y
             elif y > y1: y1 = y
     for fx, fy in fixed:
+        if x0 is None:
+            x0 = x1 = fx
+            y0 = y1 = fy
+            continue
         if fx < x0: x0 = fx
         elif fx > x1: x1 = fx
         if fy < y0: y0 = fy
         elif fy > y1: y1 = fy
+    if x0 is None:
+        return 0.0
     hpwl = (x1 - x0) + (y1 - y0)
     return (hpwl + hpwl * hpwl / _QUAD_K) * weight
+
+
+def _batch_boxes(nets, fixed_lo, fixed_hi, xs, ys):
+    """Bounding boxes and costs of *all* nets at once.
+
+    ``fixed_lo``/``fixed_hi`` are the per-net fixed-pin extremes as
+    ``(n_nets, 2)`` arrays (``+inf``/``-inf`` where a net has no fixed
+    pins, which min/max ignore exactly).  Returns five flat lists:
+    ``x0, x1, y0, y1, cost`` — min/max and the cost polynomial are the
+    same IEEE operations the scalar :func:`_net_cost` performs, so the
+    values are bit-identical.
+    """
+    xs_arr = np.asarray(xs, dtype=np.float64)
+    ys_arr = np.asarray(ys, dtype=np.float64)
+    counts = np.array([len(pins) for pins, _f, _w in nets], dtype=np.intp)
+    flat = np.fromiter(
+        (i for pins, _f, _w in nets for i in pins),
+        dtype=np.intp,
+        count=int(counts.sum()),
+    )
+    offs = np.zeros(len(nets), dtype=np.intp)
+    np.cumsum(counts[:-1], out=offs[1:])
+    px = xs_arr[flat]
+    py = ys_arr[flat]
+    x0 = np.minimum(np.minimum.reduceat(px, offs), fixed_lo[:, 0])
+    x1 = np.maximum(np.maximum.reduceat(px, offs), fixed_hi[:, 0])
+    y0 = np.minimum(np.minimum.reduceat(py, offs), fixed_lo[:, 1])
+    y1 = np.maximum(np.maximum.reduceat(py, offs), fixed_hi[:, 1])
+    weights = np.array([w for _p, _f, w in nets], dtype=np.float64)
+    hpwl = (x1 - x0) + (y1 - y0)
+    cost = (hpwl + hpwl * hpwl / _QUAD_K) * weights
+    return x0.tolist(), x1.tolist(), y0.tolist(), y1.tolist(), cost.tolist()
 
 
 def anneal(
@@ -110,14 +173,49 @@ def anneal(
         for i in pins:
             nets_of[i].append(idx)
 
-    cost = [
-        _net_cost(pins, fixed, xs, ys, w) for pins, fixed, w in nets
-    ]
+    if not nets:
+        return AnnealStats(0, 0, 0.0, 0.0)
+
+    # Static fixed-pin extremes per net; infinities vanish under min/max.
+    fixed_lo = np.full((len(nets), 2), np.inf)
+    fixed_hi = np.full((len(nets), 2), -np.inf)
+    for k, (_pins, fixed, _w) in enumerate(nets):
+        if fixed:
+            fa = np.asarray(fixed)
+            fixed_lo[k] = fa.min(axis=0)
+            fixed_hi[k] = fa.max(axis=0)
+
+    bx0, bx1, by0, by1, cost = _batch_boxes(nets, fixed_lo, fixed_hi, xs, ys)
     initial_cost = sum(cost)
 
-    occupant: dict[tuple[int, int], int] = {}
+    # Flat per-net layout for the move loop: head pin, tail pins (no
+    # per-move slicing), weight, and fixed extremes as plain floats.
+    # Two-movable-pin nets with no fixed pins — the bulk of a layer-
+    # granularity netlist — get a dedicated O(1) path: the partner pin is
+    # recovered from the precomputed pin sum, and the box is the min/max
+    # of two points.
+    net_head = [pins[0] for pins, _f, _w in nets]
+    net_tail = [pins[1:] for pins, _f, _w in nets]
+    net_w = [w for _p, _f, w in nets]
+    net_two = [len(pins) == 2 and not fixed for pins, fixed, _w in nets]
+    net_psum = [
+        pins[0] + pins[1] if (len(pins) == 2 and not fixed) else 0
+        for pins, fixed, _w in nets
+    ]
+    fx0l = fixed_lo[:, 0].tolist()
+    fy0l = fixed_lo[:, 1].tolist()
+    fx1l = fixed_hi[:, 0].tolist()
+    fy1l = fixed_hi[:, 1].tolist()
+
+    # Integer coordinates mirror xs/ys for occupancy keys (updated on
+    # accepted moves only, so the hot path never converts floats).  Sites
+    # are keyed as col * _ENC + row: int keys hash faster than tuples and
+    # allocate nothing per probe.
+    xi = [int(v) for v in xs]
+    yi = [int(v) for v in ys]
+    occupant: dict[int, int] = {}
     for i in range(n):
-        occupant[(int(sites[i, 0]), int(sites[i, 1]))] = i
+        occupant[xi[i] * _ENC + yi[i]] = i
 
     ctypes = problem.ctypes
     # Per-type site geometry for range-limited moves: sorted columns, row
@@ -130,9 +228,18 @@ def anneal(
         type_cols[ct] = sorted(set(int(c) for c in pool[:, 0]))
         type_rows[ct] = (int(pool[:, 1].min()), int(pool[:, 1].max()))
         type_sets[ct] = {(int(c), int(r)) for c, r in pool}
+    # Per-cell views of the same geometry: one list index replaces three
+    # string-keyed dict lookups per move, and pool membership probes an
+    # int-keyed set.
+    type_isets = {ct: {c * _ENC + r for c, r in s} for ct, s in type_sets.items()}
+    cell_cols = [type_cols[ct] for ct in ctypes]
+    cell_rmin = [type_rows[ct][0] for ct in ctypes]
+    cell_rmax = [type_rows[ct][1] for ct in ctypes]
+    cell_sites = [type_isets[ct] for ct in ctypes]
+    cell_pools = [problem.site_pools[ct] for ct in ctypes]
 
     budget = min(max_moves, moves_per_cell * n)
-    if budget <= 0 or not nets:
+    if budget <= 0:
         return AnnealStats(0, 0, initial_cost, initial_cost)
 
     # Low-temperature refinement: the legalized global placement is
@@ -143,89 +250,272 @@ def anneal(
     t_end = t0 * t_end_frac
     alpha = (t_end / t0) ** (1.0 / budget)
 
-    cell_picks = rng.integers(0, n, size=budget)
-    uniforms = rng.random(size=budget)
-    pool_picks = rng.random(size=budget)
+    cell_picks = rng.integers(0, n, size=budget).tolist()
+    uniforms = rng.random(size=budget).tolist()
+    pool_picks = rng.random(size=budget).tolist()
     offset_picks = rng.random(size=(budget, 2))
+    # Independent pool index for the global-hop branch: reusing
+    # ``pool_picks`` both as the 5% gate and the index restricted hops to
+    # an aliased slice of the pool.  Drawn after every other stream so
+    # the non-hop draws above are unchanged.
+    hop_picks = rng.random(size=budget).tolist()
 
     c0b, r0b, c1b, r1b = problem.bounds()
     w_max = max(8.0, max(c1b - c0b, r1b - r0b))
     w_min = 6.0
 
+    # The shrinking window and the offset draws depend only on the step
+    # index, so the per-move target offsets collapse into one vectorized
+    # pass (elementwise, hence the same IEEE operations as the scalar
+    # expressions they replace).
+    windows = np.maximum(
+        w_min, w_max * (1.0 - np.arange(budget, dtype=np.float64) / budget)
+    )
+    dxs = ((offset_picks[:, 0] * 2.0 - 1.0) * windows).tolist()
+    dys = ((offset_picks[:, 1] * 2.0 - 1.0) * windows).tolist()
+
     from bisect import bisect_left
 
+    exp = math.exp
+    site_pools = problem.site_pools
     temperature = t0
     accepted = 0
+    bbox_fast = 0
+    bbox_rescan = 0
     running = initial_cost
     best_cost = initial_cost
     best_state = (list(xs), list(ys))
     checkpoint_every = max(1, budget // 32)
+    next_checkpoint = 0
+    occ_get = occupant.get
     for step in range(budget):
-        i = int(cell_picks[step])
-        ct = ctypes[i]
-        old = (int(xs[i]), int(ys[i]))
+        i = cell_picks[step]
+        oxi = xi[i]
+        oyi = yi[i]
         # Range-limited target: window shrinks as the schedule cools
         # (VPR-style), with a small chance of a global hop.
         if pool_picks[step] < 0.05:
-            pool = problem.site_pools[ct]
-            s = pool[int(pool_picks[step] * 20.0 * pool.shape[0]) % pool.shape[0]]
+            pool = cell_pools[i]
+            npool = pool.shape[0]
+            s = pool[int(hop_picks[step] * npool) % npool]
             tcol, trow = int(s[0]), int(s[1])
+            tkey = tcol * _ENC + trow
         else:
-            frac = step / budget
-            window = max(w_min, w_max * (1.0 - frac))
-            want_col = old[0] + (offset_picks[step, 0] * 2.0 - 1.0) * window
-            want_row = old[1] + (offset_picks[step, 1] * 2.0 - 1.0) * window
-            cols = type_cols[ct]
-            k = bisect_left(cols, want_col)
-            if k >= len(cols):
-                k = len(cols) - 1
-            elif k > 0 and abs(cols[k - 1] - want_col) < abs(cols[k] - want_col):
+            want_col = oxi + dxs[step]
+            cols = cell_cols[i]
+            nc = len(cols)
+            k = bisect_left(cols, want_col, 0, nc)
+            # bisect_left leaves cols[k-1] < want_col <= cols[k], so both
+            # distances are nonnegative and the abs() calls fold away
+            if k >= nc:
+                k = nc - 1
+            elif k > 0 and want_col - cols[k - 1] < cols[k] - want_col:
                 k -= 1
             tcol = cols[k]
-            rmin, rmax = type_rows[ct]
-            trow = int(min(max(want_row, rmin), rmax))
-            if (tcol, trow) not in type_sets[ct]:
+            want_row = oyi + dys[step]
+            lo = cell_rmin[i]
+            hi = cell_rmax[i]
+            trow = int(lo if want_row < lo else hi if want_row > hi else want_row)
+            tkey = tcol * _ENC + trow
+            if tkey not in cell_sites[i]:
                 temperature *= alpha
                 continue
-        if (tcol, trow) == old:
+        if tcol == oxi and trow == oyi:
             temperature *= alpha
             continue
-        j = occupant.get((tcol, trow))
+        j = occ_get(tkey)
 
-        affected = nets_of[i] if j is None else sorted(set(nets_of[i] + nets_of[j]))
+        oxf = xs[i]
+        oyf = ys[i]
+        nxf = float(tcol)
+        nyf = float(trow)
+        xs[i] = nxf
+        ys[i] = nyf
         before = 0.0
-        for k in affected:
-            before += cost[k]
-        # apply tentatively
-        xs[i], ys[i] = float(tcol), float(trow)
-        if j is not None:
-            xs[j], ys[j] = float(old[0]), float(old[1])
         after = 0.0
-        new_costs = []
-        for k in affected:
-            pins, fixed, w = nets[k]
-            ck = _net_cost(pins, fixed, xs, ys, w)
-            new_costs.append(ck)
-            after += ck
+        if j is None:
+            # Dominant case: move into an empty site.  The only pin that
+            # moves belongs to cell i, so the per-net old/new positions
+            # are fixed and no shared-net test is needed.
+            affected = nets_of[i]
+            for k in affected:
+                before += cost[k]
+                if net_two[k]:
+                    # two movable pins, no fixed: box is the min/max of
+                    # the partner pin and the new position
+                    bbox_fast += 1
+                    o = net_psum[k] - i
+                    x = xs[o]; y = ys[o]
+                    if x < nxf: x0 = x; x1 = nxf
+                    else: x0 = nxf; x1 = x
+                    if y < nyf: y0 = y; y1 = nyf
+                    else: y0 = nyf; y1 = y
+                else:
+                    x0 = bx0[k]; x1 = bx1[k]; y0 = by0[k]; y1 = by1[k]
+                    if x0 < oxf < x1 and y0 < oyf < y1:
+                        # the moved pin was strictly interior: the box
+                        # can only grow toward the new position — O(1)
+                        bbox_fast += 1
+                        if nxf < x0: x0 = nxf
+                        elif nxf > x1: x1 = nxf
+                        if nyf < y0: y0 = nyf
+                        elif nyf > y1: y1 = nyf
+                    else:
+                        # a boundary pin moved: the box may shrink
+                        bbox_rescan += 1
+                        p = net_head[k]
+                        x0 = x1 = xs[p]
+                        y0 = y1 = ys[p]
+                        for p in net_tail[k]:
+                            x = xs[p]; y = ys[p]
+                            if x < x0: x0 = x
+                            elif x > x1: x1 = x
+                            if y < y0: y0 = y
+                            elif y > y1: y1 = y
+                        f = fx0l[k]
+                        if f < x0: x0 = f
+                        f = fx1l[k]
+                        if f > x1: x1 = f
+                        f = fy0l[k]
+                        if f < y0: y0 = f
+                        f = fy1l[k]
+                        if f > y1: y1 = f
+                hpwl = (x1 - x0) + (y1 - y0)
+                after += (hpwl + hpwl * hpwl / _QUAD_K) * net_w[k]
+        else:
+            # Swap: walk the two sorted per-cell net lists with a merge
+            # (ascending, duplicates collapse) instead of building sets
+            # and sorting their union on every swap evaluation.  A net in
+            # both lists has i and j swapping in place — pin positions
+            # permute, so its box and cost cannot change.
+            xs[j] = oxf
+            ys[j] = oyf
+            li = nets_of[i]
+            lj = nets_of[j]
+            la = len(li)
+            lb = len(lj)
+            u = li[0] if la else _BIG
+            v = lj[0] if lb else _BIG
+            a = 1
+            b = 1
+            affected = []
+            ap = affected.append
+            while True:
+                if u < v:
+                    k = u
+                    u = li[a] if a < la else _BIG
+                    a += 1
+                    m = i; mx = nxf; my = nyf; pox = oxf; poy = oyf
+                elif v < u:
+                    k = v
+                    v = lj[b] if b < lb else _BIG
+                    b += 1
+                    m = j; mx = oxf; my = oyf; pox = nxf; poy = nyf
+                elif u == _BIG:
+                    break
+                else:
+                    k = u
+                    u = li[a] if a < la else _BIG
+                    a += 1
+                    v = lj[b] if b < lb else _BIG
+                    b += 1
+                    ap(k)
+                    ck = cost[k]
+                    before += ck
+                    after += ck
+                    continue
+                ap(k)
+                before += cost[k]
+                if net_two[k]:
+                    bbox_fast += 1
+                    o = net_psum[k] - m
+                    x = xs[o]; y = ys[o]
+                    if x < mx: x0 = x; x1 = mx
+                    else: x0 = mx; x1 = x
+                    if y < my: y0 = y; y1 = my
+                    else: y0 = my; y1 = y
+                else:
+                    x0 = bx0[k]; x1 = bx1[k]; y0 = by0[k]; y1 = by1[k]
+                    if x0 < pox < x1 and y0 < poy < y1:
+                        bbox_fast += 1
+                        if mx < x0: x0 = mx
+                        elif mx > x1: x1 = mx
+                        if my < y0: y0 = my
+                        elif my > y1: y1 = my
+                    else:
+                        bbox_rescan += 1
+                        p = net_head[k]
+                        x0 = x1 = xs[p]
+                        y0 = y1 = ys[p]
+                        for p in net_tail[k]:
+                            x = xs[p]; y = ys[p]
+                            if x < x0: x0 = x
+                            elif x > x1: x1 = x
+                            if y < y0: y0 = y
+                            elif y > y1: y1 = y
+                        f = fx0l[k]
+                        if f < x0: x0 = f
+                        f = fx1l[k]
+                        if f > x1: x1 = f
+                        f = fy0l[k]
+                        if f < y0: y0 = f
+                        f = fy1l[k]
+                        if f > y1: y1 = f
+                hpwl = (x1 - x0) + (y1 - y0)
+                after += (hpwl + hpwl * hpwl / _QUAD_K) * net_w[k]
         delta = after - before
-        if delta <= 0 or uniforms[step] < math.exp(-delta / temperature):
+        if delta <= 0 or uniforms[step] < exp(-delta / temperature):
+            # Commit: refresh the cached boxes/costs of the affected nets
+            # by rescanning.  Acceptances are rare under the quench
+            # schedule, so redoing the scan here is cheaper than staging
+            # boxes on every evaluated move; the rescan reproduces the
+            # evaluation's boxes exactly (the O(1) expansion equals a
+            # rescan when the cache was current, and a swap-shared net's
+            # rescan rewrites its unchanged box).
             accepted += 1
             running += delta
-            for k, ck in zip(affected, new_costs):
-                cost[k] = ck
-            occupant[(tcol, trow)] = i
+            for k in affected:
+                p = net_head[k]
+                x0 = x1 = xs[p]
+                y0 = y1 = ys[p]
+                for p in net_tail[k]:
+                    x = xs[p]; y = ys[p]
+                    if x < x0: x0 = x
+                    elif x > x1: x1 = x
+                    if y < y0: y0 = y
+                    elif y > y1: y1 = y
+                f = fx0l[k]
+                if f < x0: x0 = f
+                f = fx1l[k]
+                if f > x1: x1 = f
+                f = fy0l[k]
+                if f < y0: y0 = f
+                f = fy1l[k]
+                if f > y1: y1 = f
+                bx0[k] = x0; bx1[k] = x1; by0[k] = y0; by1[k] = y1
+                hpwl = (x1 - x0) + (y1 - y0)
+                cost[k] = (hpwl + hpwl * hpwl / _QUAD_K) * net_w[k]
+            occupant[tkey] = i
+            xi[i] = tcol
+            yi[i] = trow
+            okey = oxi * _ENC + oyi
             if j is not None:
-                occupant[old] = j
+                occupant[okey] = j
+                xi[j] = oxi
+                yi[j] = oyi
             else:
-                del occupant[old]
+                del occupant[okey]
         else:
-            xs[i], ys[i] = float(old[0]), float(old[1])
+            xs[i] = oxf
+            ys[i] = oyf
             if j is not None:
-                xs[j], ys[j] = float(tcol), float(trow)
+                xs[j] = nxf
+                ys[j] = nyf
         temperature *= alpha
         # keep the best state seen (SA may end on an uphill excursion);
         # the same batch boundary drives the cost/temperature telemetry
-        if step % checkpoint_every == 0:
+        if step == next_checkpoint:
+            next_checkpoint += checkpoint_every
             if running < best_cost:
                 best_cost = running
                 best_state = (list(xs), list(ys))
@@ -235,6 +525,9 @@ def anneal(
     if running > best_cost:
         xs, ys = best_state
         final_cost = best_cost
+        # the cost cache tracked the *final* walk, not the restored best
+        # state — recompute before the clump pass reads it
+        _bx0, _bx1, _by0, _by1, cost = _batch_boxes(nets, fixed_lo, fixed_hi, xs, ys)
     else:
         final_cost = running
 
@@ -302,5 +595,7 @@ def anneal(
         sites[i, 1] = int(ys[i])
     incr("place.moves", budget)
     incr("place.accepted", accepted)
+    incr("place.bbox.fast", bbox_fast)
+    incr("place.bbox.rescan", bbox_rescan)
     sample("place.cost", min(final_cost, initial_cost))
     return AnnealStats(budget, accepted, initial_cost, min(final_cost, initial_cost))

@@ -10,6 +10,16 @@ occupancy map but never ripped up — the final "Vivado" pass of the
 pre-implemented flow "will only consider non-routed nets" (paper
 Sec. IV-A2), which is exactly what this router does when handed a
 stitched design.
+
+Hot-path layout: the per-iteration cost vector is materialized once as a
+flat Python list (what :func:`~repro.route.maze.astar_route` wants), all
+per-path occupancy/cost updates go through NumPy fancy indexing against
+cached path arrays on each :class:`_Target`, and the overuse check that
+drives rip-up decisions is a single vectorized comparison.  With
+``jobs > 1`` the router additionally batches *window-disjoint* reroutes
+into waves and runs each wave's searches concurrently on
+:class:`repro.engine.Engine` — provably bit-identical to the serial
+schedule (see :meth:`Router._iterate_parallel`).
 """
 
 from __future__ import annotations
@@ -21,11 +31,16 @@ import numpy as np
 from .._util import StageTimer, make_rng
 from ..obs.span import incr, observe, sample
 from ..fabric.device import Device
-from ..fabric.interconnect import RoutingGraph
+from ..fabric.interconnect import HEX_COST, RoutingGraph
 from ..netlist.design import Design, DesignError
-from .maze import astar_route, direct_path
+from .maze import _window_bounds, astar_route, direct_path
 
 __all__ = ["Router", "RouteResult", "RoutingError"]
+
+#: Weighted-A* factor used on reroute passes (bounded suboptimality).
+_REROUTE_WEIGHT = 1.15
+
+_EMPTY = np.empty(0, dtype=np.intp)
 
 
 class RoutingError(DesignError):
@@ -63,10 +78,94 @@ class _Target:
     dst_node: int
     width: int
     path: list[int] | None = None
+    #: Interior nodes (``path[1:-1]``) as list + index array; endpoint
+    #: tiles are cell pins, not wires, and never enter the occupancy map.
+    inner: list[int] = field(default_factory=list)
+    inner_arr: np.ndarray = field(default_factory=lambda: _EMPTY)
+    path_arr: np.ndarray = field(default_factory=lambda: _EMPTY)
+
+    def set_path(self, path: list[int]) -> None:
+        self.path = path
+        self.inner = path[1:-1]
+        self.path_arr = np.asarray(path, dtype=np.intp)
+        self.inner_arr = self.path_arr[1:-1]
+
+    def clear_path(self) -> None:
+        self.path = None
+        self.inner = []
+        self.path_arr = _EMPTY
+        self.inner_arr = _EMPTY
+
+
+def _path_overused(inner: np.ndarray, occupancy: np.ndarray, capacity: np.ndarray) -> bool:
+    """True if any *wire* node of a committed path is over capacity.
+
+    *inner* holds the path's interior nodes (``path[1:-1]``): endpoint
+    tiles are cell pins, not routing wires — occupancy is never charged
+    for them — so an overused tile under an endpoint must not rip up an
+    otherwise clean route.
+    """
+    if inner.size == 0:
+        return False
+    return bool((occupancy[inner] > capacity[inner]).any())
+
+
+def _search_task(
+    src: int,
+    dst: int,
+    nrows: int,
+    ncols: int,
+    bounds: tuple[int, int, int, int],
+    cost_map: dict[int, float],
+    heuristic_weight: float,
+) -> list[int] | None:
+    """One pooled wave search: window bounds and the cost values inside
+    them travel with the task, so the worker never needs the full grid."""
+    return astar_route(
+        src, dst, nrows, ncols, cost_map,
+        heuristic_weight=heuristic_weight, _bounds=bounds,
+    )
+
+
+def _node_bbox(path_arr: np.ndarray, nrows: int) -> tuple[int, int, int, int]:
+    cols = path_arr // nrows
+    rows = path_arr % nrows
+    return (int(cols.min()), int(rows.min()), int(cols.max()), int(rows.max()))
+
+
+def _union_bbox(a: tuple, b: tuple) -> tuple[int, int, int, int]:
+    return (min(a[0], b[0]), min(a[1], b[1]), max(a[2], b[2]), max(a[3], b[3]))
+
+
+def _hits(box: tuple, boxes: list[tuple]) -> bool:
+    c0, r0, c1, r1 = box
+    for b0, b1, b2, b3 in boxes:
+        if c0 <= b2 and b0 <= c1 and r0 <= b3 and b1 <= r1:
+            return True
+    return False
+
+
+def _window_cost_map(
+    bounds: tuple[int, int, int, int], nrows: int, cost_list: list[float]
+) -> dict[int, float]:
+    """Cost values for every node inside *bounds*, keyed by node id."""
+    col_lo, row_lo, col_hi, row_hi = bounds
+    cmap: dict[int, float] = {}
+    for col in range(col_lo, col_hi + 1):
+        base = col * nrows
+        lo = base + row_lo
+        cmap.update(zip(range(lo, base + row_hi + 1), cost_list[lo : base + row_hi + 1]))
+    return cmap
 
 
 class Router:
-    """Negotiated-congestion router over a device's routing graph."""
+    """Negotiated-congestion router over a device's routing graph.
+
+    *jobs* > 1 routes window-disjoint targets concurrently through
+    :class:`repro.engine.Engine` worker processes; results are
+    bit-identical to ``jobs=1`` (asserted by
+    ``tests/test_hotpath_determinism.py``).
+    """
 
     def __init__(
         self,
@@ -78,6 +177,7 @@ class Router:
         hist_fac: float = 0.35,
         max_iters: int = 12,
         seed: int = 0,
+        jobs: int = 1,
     ) -> None:
         self.device = device
         self.graph = graph if graph is not None else RoutingGraph(device)
@@ -86,6 +186,7 @@ class Router:
         self.hist_fac = hist_fac
         self.max_iters = max_iters
         self.rng = make_rng(seed)
+        self.jobs = max(1, int(jobs))
 
     # -- public API ------------------------------------------------------
 
@@ -169,64 +270,36 @@ class Router:
         pres_fac = self.pres_fac_init
         iterations = 0
         failed = 0
+        engine = None
+        if self.jobs > 1:
+            from ..engine import Engine
+
+            engine = Engine(jobs=self.jobs)
 
         for iteration in range(self.max_iters):
             iterations = iteration + 1
-            failed = 0
-            ripped = 0
             with timer.stage("route/iterate"):
                 over = np.maximum(occupancy - capacity, 0.0) / capacity
                 node_cost = 1.0 + pres_fac * over + self.hist_fac * history
                 if blocked is not None:
                     node_cost[blocked] = 1e12
-                for tgt in targets:
-                    usage = net_usage[tgt.net_name]
-                    if tgt.path is not None:
-                        if iteration and not _path_overused(tgt.path, occupancy, capacity):
-                            continue  # keep clean paths; reroute congested ones
-                        ripped += 1
-                        for node in tgt.path[1:-1]:
-                            usage[node] -= 1
-                            if usage[node] == 0:
-                                del usage[node]
-                                occupancy[node] -= tgt.width
-                        # local refresh of costs along the ripped path
-                        over_p = (
-                            np.maximum(occupancy[tgt.path] - capacity[tgt.path], 0.0)
-                            / capacity[tgt.path]
-                        )
-                        node_cost[tgt.path] = (
-                            1.0 + pres_fac * over_p + self.hist_fac * history[tgt.path]
-                        )
-                        tgt.path = None
-                    if iteration == 0:
-                        # quick pass: congestion-oblivious direct route
-                        path = direct_path(tgt.src_node, tgt.dst_node, nrows)
-                    else:
-                        path = astar_route(
-                            tgt.src_node,
-                            tgt.dst_node,
-                            nrows,
-                            ncols,
-                            node_cost,
-                            heuristic_weight=1.15,
-                        )
-                        if path is None:
-                            # keep connectivity: fall back to the direct
-                            # route and let negotiation continue elsewhere
-                            path = direct_path(tgt.src_node, tgt.dst_node, nrows)
-                    if path is None:
-                        failed += 1
-                        continue
-                    tgt.path = path
-                    for node in path[1:-1]:
-                        count = usage.get(node, 0)
-                        usage[node] = count + 1
-                        if count == 0:
-                            occupancy[node] += tgt.width
-                    # keep costs current for subsequent targets this iteration
-                    over_p = np.maximum(occupancy[path] - capacity[path], 0.0) / capacity[path]
-                    node_cost[path] = 1.0 + pres_fac * over_p + self.hist_fac * history[path]
+                # One flat-list materialization per iteration keeps the A*
+                # inner loop in native floats (bit-identical values); the
+                # premultiplied hex vector rides along for the same reason.
+                cost_list = node_cost.tolist()
+                hex_list = (HEX_COST * node_cost).tolist()
+                if engine is not None and iteration > 0:
+                    failed, ripped = self._iterate_parallel(
+                        engine, targets, net_usage, iteration, occupancy,
+                        capacity, history, cost_list, hex_list, pres_fac,
+                        nrows, ncols,
+                    )
+                else:
+                    failed, ripped = self._iterate_serial(
+                        targets, net_usage, iteration, occupancy,
+                        capacity, history, cost_list, hex_list, pres_fac,
+                        nrows, ncols,
+                    )
 
             overused = occupancy > capacity
             n_over = int(np.count_nonzero(overused))
@@ -260,9 +333,188 @@ class Router:
             preexisting=preexisting,
         )
 
+    # -- one negotiation iteration ---------------------------------------
 
-def _path_overused(path: list[int], occupancy: np.ndarray, capacity: np.ndarray) -> bool:
-    for node in path:
-        if occupancy[node] > capacity[node]:
-            return True
-    return False
+    def _iterate_serial(
+        self, targets, net_usage, iteration, occupancy, capacity, history,
+        cost_list, hex_list, pres_fac, nrows, ncols,
+    ) -> tuple[int, int]:
+        failed = 0
+        ripped = 0
+        for tgt in targets:
+            usage = net_usage[tgt.net_name]
+            if tgt.path is not None:
+                if iteration and not _path_overused(tgt.inner_arr, occupancy, capacity):
+                    continue  # keep clean paths; reroute congested ones
+                ripped += 1
+                self._rip(tgt, usage, occupancy, capacity, history,
+                          cost_list, hex_list, pres_fac)
+            if iteration == 0:
+                # quick pass: congestion-oblivious direct route
+                path = direct_path(tgt.src_node, tgt.dst_node, nrows)
+            else:
+                path = astar_route(
+                    tgt.src_node, tgt.dst_node, nrows, ncols, cost_list,
+                    heuristic_weight=_REROUTE_WEIGHT, _hex=hex_list,
+                )
+                if path is None:
+                    # keep connectivity: fall back to the direct route and
+                    # let negotiation continue elsewhere
+                    path = direct_path(tgt.src_node, tgt.dst_node, nrows)
+            if path is None:
+                failed += 1
+                continue
+            self._commit(tgt, path, usage, occupancy, capacity, history,
+                         cost_list, hex_list, pres_fac)
+        return failed, ripped
+
+    def _iterate_parallel(
+        self, engine, targets, net_usage, iteration, occupancy, capacity,
+        history, cost_list, hex_list, pres_fac, nrows, ncols,
+    ) -> tuple[int, int]:
+        """One reroute iteration in window-disjoint waves, bit-identical
+        to :meth:`_iterate_serial`.
+
+        A wave is a maximal *prefix* of the remaining serial schedule
+        whose pending reroutes have pairwise-disjoint footprints (old
+        path bbox united with the certified A* search window): every
+        value a wave member reads — occupancy for the rip-up decision,
+        costs inside its window for the search — is then unaffected by
+        the other members' writes, so ripping all members first, running
+        their searches concurrently, and committing in serial order
+        reproduces the interleaved serial schedule exactly.  The window
+        is computed *before* the member's own rip-up: ripping only
+        lowers costs along the old path, so the pre-rip window contains
+        the post-rip (serial) one and the certification of
+        :func:`~repro.route.maze._window_bounds` still applies.  Targets
+        of one net always conflict (both windows contain the driver),
+        which protects the shared trunk-usage bookkeeping.  Searches go
+        through :class:`repro.engine.Engine` and ship only their window's
+        cost values; waves of one run inline.
+        """
+        from ..engine import TaskGraph
+
+        failed = 0
+        ripped = 0
+        idx = 0
+        wave_no = 0
+        while idx < len(targets):
+            wave: list[tuple[_Target, tuple[int, int, int, int]]] = []
+            boxes: list[tuple[int, int, int, int]] = []
+            j = idx
+            while j < len(targets):
+                tgt = targets[j]
+                path_box = _node_bbox(tgt.path_arr, nrows)
+                if _hits(path_box, boxes):
+                    break  # decision depends on a wave member's result
+                if not _path_overused(tgt.inner_arr, occupancy, capacity):
+                    j += 1
+                    continue  # clean: the serial schedule skips it too
+                bounds = _window_bounds(
+                    tgt.src_node, tgt.dst_node, nrows, ncols, cost_list,
+                    _REROUTE_WEIGHT,
+                )
+                footprint = _union_bbox(path_box, bounds)
+                if _hits(footprint, boxes):
+                    break
+                wave.append((tgt, bounds))
+                boxes.append(footprint)
+                j += 1
+            for tgt, _bounds in wave:
+                ripped += 1
+                self._rip(
+                    tgt, net_usage[tgt.net_name], occupancy, capacity,
+                    history, cost_list, hex_list, pres_fac,
+                )
+            if len(wave) == 1:
+                tgt, bounds = wave[0]
+                paths = [astar_route(
+                    tgt.src_node, tgt.dst_node, nrows, ncols, cost_list,
+                    heuristic_weight=_REROUTE_WEIGHT, _bounds=bounds,
+                    _hex=hex_list,
+                )]
+            elif wave:
+                graph = TaskGraph()
+                for k, (tgt, bounds) in enumerate(wave):
+                    graph.add(
+                        f"i{iteration}.w{wave_no}.c{k}",
+                        _search_task,
+                        args=(
+                            tgt.src_node, tgt.dst_node, nrows, ncols, bounds,
+                            _window_cost_map(bounds, nrows, cost_list),
+                            _REROUTE_WEIGHT,
+                        ),
+                        stage="route/search",
+                    )
+                report = engine.run(graph)
+                paths = [
+                    report.results[f"i{iteration}.w{wave_no}.c{k}"]
+                    for k in range(len(wave))
+                ]
+            else:
+                paths = []
+            if wave:
+                observe("route.wave_size", len(wave))
+                wave_no += 1
+            for (tgt, _bounds), path in zip(wave, paths):
+                if path is None:
+                    path = direct_path(tgt.src_node, tgt.dst_node, nrows)
+                if path is None:
+                    failed += 1
+                    continue
+                self._commit(
+                    tgt, path, net_usage[tgt.net_name], occupancy, capacity,
+                    history, cost_list, hex_list, pres_fac,
+                )
+            idx = j
+        return failed, ripped
+
+    # -- per-path state updates ------------------------------------------
+
+    def _rip(self, tgt, usage, occupancy, capacity, history, cost_list, hex_list, pres_fac) -> None:
+        """Remove a target's path from the shared-trunk usage counts and
+        the occupancy map, then refresh costs along the freed path."""
+        freed = []
+        for node in tgt.inner:
+            left = usage[node] - 1
+            if left:
+                usage[node] = left
+            else:
+                del usage[node]
+                freed.append(node)
+        if freed:
+            occupancy[freed] -= tgt.width
+        self._refresh_cost(tgt.path_arr, tgt.path, occupancy, capacity, history, cost_list, hex_list, pres_fac)
+        tgt.clear_path()
+
+    def _commit(self, tgt, path, usage, occupancy, capacity, history, cost_list, hex_list, pres_fac) -> None:
+        """Install a fresh path: charge occupancy for interior nodes the
+        net doesn't already use, then refresh costs along the path."""
+        tgt.set_path(path)
+        if usage:
+            added = []
+            for node in tgt.inner:
+                count = usage.get(node, 0)
+                usage[node] = count + 1
+                if count == 0:
+                    added.append(node)
+            if added:
+                occupancy[added] += tgt.width
+        elif tgt.inner:
+            # Fast path: nothing of this net is routed yet, every interior
+            # node is newly charged — one fancy-indexed update.
+            for node in tgt.inner:
+                usage[node] = 1
+            occupancy[tgt.inner_arr] += tgt.width
+        self._refresh_cost(tgt.path_arr, path, occupancy, capacity, history, cost_list, hex_list, pres_fac)
+
+    def _refresh_cost(self, path_arr, path, occupancy, capacity, history, cost_list, hex_list, pres_fac) -> None:
+        """Recompute node costs along one path (vectorized) and write them
+        back into the iteration's flat cost list (and its premultiplied
+        hex companion), so subsequent searches this iteration see current
+        congestion."""
+        over_p = np.maximum(occupancy[path_arr] - capacity[path_arr], 0.0) / capacity[path_arr]
+        vals = (1.0 + pres_fac * over_p + self.hist_fac * history[path_arr]).tolist()
+        for node, val in zip(path, vals):
+            cost_list[node] = val
+            hex_list[node] = HEX_COST * val

@@ -1,0 +1,212 @@
+"""Bit-identity of the optimized route/place hot paths to their references.
+
+The arena/windowed A*, the batched search, the parallel (``jobs > 1``)
+PathFinder schedule, and the incremental-bbox annealer are all pure
+optimizations: same floats, same tie-breaks, same results.  These tests
+pin that equivalence on deterministic congested instances (the Hypothesis
+suites in ``test_property_route.py`` / ``test_property_place.py`` cover
+randomized ones) plus the behavioural regressions fixed alongside:
+degenerate-net costs, endpoint overuse, and RNG stream ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import make_rng
+from repro.fabric import Device, RoutingGraph, TileType
+from repro.netlist import Design
+from repro.place import annealer as annealer_mod
+from repro.place import _annealer_reference as annealer_ref_mod
+from repro.place.annealer import _net_cost, anneal
+from repro.place._annealer_reference import anneal_reference
+from repro.place.global_place import global_place
+from repro.place.legalize import legalize
+from repro.place.problem import PlacementProblem
+from repro.route import Router, astar_route, astar_route_batch, astar_route_reference
+from repro.route.pathfinder import _path_overused
+
+SMALL = Device.from_name("small")
+
+
+# -- A* search ----------------------------------------------------------------
+
+
+def _congested_cost(n_nodes: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return 1.0 + 1.3 * rng.integers(0, 3, size=n_nodes).astype(float) + rng.random(n_nodes)
+
+
+@pytest.mark.parametrize("weight", [1.0, 1.15, 1.5])
+def test_astar_matches_reference_on_congested_grid(weight):
+    nrows, ncols = 40, 30
+    cost = _congested_cost(nrows * ncols, seed=11)
+    rng = np.random.default_rng(5)
+    pairs = [
+        (int(rng.integers(0, nrows * ncols)), int(rng.integers(0, nrows * ncols)))
+        for _ in range(40)
+    ]
+    for src, dst in pairs:
+        ref = astar_route_reference(src, dst, nrows, ncols, cost, heuristic_weight=weight)
+        opt = astar_route(src, dst, nrows, ncols, cost, heuristic_weight=weight)
+        unwindowed = astar_route(
+            src, dst, nrows, ncols, cost, heuristic_weight=weight, window=False
+        )
+        assert opt == ref
+        assert unwindowed == ref
+    batch = astar_route_batch(pairs, nrows, ncols, cost, heuristic_weight=weight)
+    assert batch == [
+        astar_route_reference(s, d, nrows, ncols, cost, heuristic_weight=weight)
+        for s, d in pairs
+    ]
+
+
+def test_astar_docstring_admits_inadmissibility():
+    # weighted A* is bounded-suboptimal, not optimal — the docs must not
+    # promise shortest paths for heuristic_weight > 1
+    doc = astar_route.__doc__
+    assert "inadmissible" in doc
+    assert "bounded-suboptimality" in doc
+
+
+# -- PathFinder parallel schedule ---------------------------------------------
+
+
+def _congested_design(n_pairs: int, width: int, device: Device) -> Design:
+    d = Design("hot")
+    clb = [int(c) for c in device.columns_of(TileType.CLB)]
+    for i in range(n_pairs):
+        d.new_cell(f"s{i}", "SLICE", placement=(clb[0], i % device.nrows), luts=1)
+        d.new_cell(f"t{i}", "SLICE", placement=(clb[-1], (i * 3) % device.nrows), luts=1)
+        d.connect(f"n{i}", f"s{i}", [f"t{i}"], width=width)
+    return d
+
+
+@pytest.mark.parametrize("n_pairs,width", [(12, 60), (24, 120)])
+def test_router_parallel_matches_serial(n_pairs, width):
+    device = Device.from_name("tiny")
+
+    def run(jobs):
+        design = _congested_design(n_pairs, width, device)
+        result = Router(device, RoutingGraph(device), seed=0, jobs=jobs).route(design)
+        routes = {
+            (net.name, i): tuple(p) if p else None
+            for net in design.nets.values()
+            for i, p in enumerate(net.routes)
+        }
+        return result, routes
+
+    serial, routes_serial = run(1)
+    parallel, routes_parallel = run(2)
+    assert routes_parallel == routes_serial
+    assert (parallel.routed, parallel.failed, parallel.iterations,
+            parallel.wirelength, parallel.overused_nodes) == (
+        serial.routed, serial.failed, serial.iterations,
+        serial.wirelength, serial.overused_nodes,
+    )
+
+
+# -- annealer -----------------------------------------------------------------
+
+
+def _random_problem(seed: int) -> tuple[PlacementProblem, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    design = Design(f"det{seed}")
+    names = []
+    for i in range(int(rng.integers(6, 18))):
+        design.new_cell(f"c{i}", "SLICE", luts=1)
+        names.append(f"c{i}")
+    for k in range(int(rng.integers(3, 10))):
+        driver = names[int(rng.integers(0, len(names)))]
+        sinks = sorted(
+            {names[int(s)] for s in rng.integers(0, len(names), size=3)} - {driver}
+        )
+        if sinks:
+            design.connect(f"n{k}", driver, sinks, width=int(rng.integers(1, 4)))
+    problem = PlacementProblem.from_design(design, SMALL)
+    sites = legalize(problem, global_place(problem, make_rng(seed), iters=5))
+    return problem, sites
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11])
+def test_anneal_matches_reference(seed):
+    problem, sites = _random_problem(seed)
+    sites_opt = sites.copy()
+    sites_ref = sites.copy()
+    stats_opt = anneal(problem, sites_opt, seed=seed, moves_per_cell=30, max_moves=4_000)
+    stats_ref = anneal_reference(
+        problem, sites_ref, seed=seed, moves_per_cell=30, max_moves=4_000
+    )
+    assert np.array_equal(sites_opt, sites_ref)
+    assert (stats_opt.moves, stats_opt.accepted) == (stats_ref.moves, stats_ref.accepted)
+    assert stats_opt.initial_cost == stats_ref.initial_cost
+    assert stats_opt.final_cost == stats_ref.final_cost
+
+
+# -- behavioural regressions --------------------------------------------------
+
+
+def test_net_cost_without_movable_pins():
+    # a net whose movable pins were all filtered out must cost its fixed
+    # bounding box, not crash on an empty min()
+    xs: list[float] = []
+    ys: list[float] = []
+    fixed = [(2.0, 3.0), (7.0, 9.0)]
+    cost = _net_cost([], fixed, xs, ys, 2.0)
+    hpwl = (7.0 - 2.0) + (9.0 - 3.0)
+    assert cost == pytest.approx((hpwl + hpwl * hpwl / 120.0) * 2.0)
+    assert _net_cost([], [], xs, ys, 1.0) == 0.0
+
+
+def test_path_overused_ignores_endpoint_nodes():
+    capacity = np.ones(10)
+    occupancy = np.zeros(10)
+    path = [2, 3, 4, 5]
+    inner = np.asarray(path[1:-1], dtype=np.intp)
+    # overuse only under the endpoints (cell pins, never charged): clean
+    occupancy[2] = 5.0
+    occupancy[5] = 5.0
+    assert not _path_overused(inner, occupancy, capacity)
+    # overuse on an interior wire: must trigger a rip-up
+    occupancy[3] = 2.0
+    assert _path_overused(inner, occupancy, capacity)
+    # degenerate two-node path has no wires at all
+    assert not _path_overused(np.asarray([], dtype=np.intp), occupancy, capacity)
+
+
+class _RecordingRng:
+    """Delegates to a real Generator while recording the draw order."""
+
+    def __init__(self, seed: int) -> None:
+        self._rng = np.random.default_rng(seed)
+        self.calls: list[tuple[str, tuple]] = []
+
+    def integers(self, *args, **kwargs):
+        self.calls.append(("integers", kwargs.get("size")))
+        return self._rng.integers(*args, **kwargs)
+
+    def random(self, *args, **kwargs):
+        self.calls.append(("random", kwargs.get("size")))
+        return self._rng.random(*args, **kwargs)
+
+
+@pytest.mark.parametrize(
+    "module,func", [(annealer_mod, anneal), (annealer_ref_mod, anneal_reference)]
+)
+def test_hop_stream_is_drawn_last(monkeypatch, module, func):
+    # the global-hop pool index must come from its own stream, drawn after
+    # every other one — reusing the gate variable aliased hops to a slice
+    # of the pool, and drawing it earlier would shift the non-hop streams
+    problem, sites = _random_problem(1)
+    recorder = _RecordingRng(1)
+    monkeypatch.setattr(module, "make_rng", lambda s: recorder)
+    func(problem, sites.copy(), seed=1, moves_per_cell=5, max_moves=200)
+    budget_draws = [c for c in recorder.calls if c[1] is not None]
+    assert budget_draws[0][0] == "integers"  # cell picks
+    kinds = [c[0] for c in budget_draws]
+    assert kinds.count("integers") == 1
+    # uniforms, pool gate, offsets, then the independent hop stream
+    assert len(budget_draws) == 5
+    sizes = [c[1] for c in budget_draws]
+    assert sizes[-1] == sizes[1] == sizes[2]  # hop stream sized like the others

@@ -8,7 +8,9 @@ Hypothesis over random connected designs on the small part:
   distinct and on-pool — and its reported cost never gets worse than the
   initial legalized cost (best-seen restoration);
 * the full :func:`place_design` facade produces a design that passes
-  :meth:`Design.validate` against the device.
+  :meth:`Design.validate` against the device;
+* the incremental-bbox annealer is bit-identical — placements and stats —
+  to the rescan-everything reference annealer at any seed.
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from repro._util import make_rng
 from repro.fabric import Device
 from repro.netlist import Design
 from repro.place import place_design
+from repro.place._annealer_reference import anneal_reference
 from repro.place.annealer import anneal
 from repro.place.global_place import global_place
 from repro.place.legalize import legalize
@@ -88,6 +91,23 @@ def test_anneal_keeps_legality_and_never_worse(case):
     assert stats.final_cost <= stats.initial_cost + 1e-9
     assert 0 <= stats.accepted <= stats.moves
     assert 0.0 <= stats.improvement <= 1.0 or stats.initial_cost == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(placement_designs())
+def test_incremental_anneal_matches_reference(case):
+    design, seed = case
+    problem = PlacementProblem.from_design(design, SMALL)
+    sites = legalize(problem, global_place(problem, make_rng(seed), iters=5))
+    sites_ref = sites.copy()
+    stats = anneal(problem, sites, seed=seed, moves_per_cell=20, max_moves=2_000)
+    stats_ref = anneal_reference(
+        problem, sites_ref, seed=seed, moves_per_cell=20, max_moves=2_000
+    )
+    assert np.array_equal(sites, sites_ref)
+    assert (stats.moves, stats.accepted) == (stats_ref.moves, stats_ref.accepted)
+    assert stats.initial_cost == stats_ref.initial_cost
+    assert stats.final_cost == stats_ref.final_cost
 
 
 @settings(max_examples=10, deadline=None)

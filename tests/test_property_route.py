@@ -10,6 +10,8 @@ Hypothesis over random multi-fanout routing problems on the small part:
 * rerouting an already-routed design is a no-op: the router reports the
   old connections as preexisting, routes nothing, and leaves every path
   byte-identical.
+* the arena/windowed A* search returns byte-identical paths to the
+  dict/heap reference search on random congested grids, windowed or not.
 """
 
 from __future__ import annotations
@@ -22,7 +24,7 @@ from hypothesis import given, settings, strategies as st
 from repro.fabric import Device, RoutingGraph, TileType
 from repro.fabric.interconnect import HEX_REACH
 from repro.netlist import Design
-from repro.route import Router
+from repro.route import Router, astar_route, astar_route_reference
 
 SMALL = Device.from_name("small")
 CLB_COLS = [int(c) for c in SMALL.columns_of(TileType.CLB)]
@@ -118,3 +120,31 @@ def test_rerouting_routed_design_is_noop(problem):
     assert second.wirelength == 0
     for name, net in design.nets.items():
         assert net.routes == snapshot[name]
+
+
+@st.composite
+def congested_searches(draw):
+    """A random congested grid with endpoints and a heuristic weight."""
+    nrows = draw(st.integers(8, 32))
+    ncols = draw(st.integers(8, 32))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    n_nodes = nrows * ncols
+    cost = 1.0 + 2.0 * rng.integers(0, 3, size=n_nodes).astype(float) + rng.random(n_nodes)
+    src = draw(st.integers(0, n_nodes - 1))
+    dst = draw(st.integers(0, n_nodes - 1))
+    weight = draw(st.sampled_from([1.0, 1.15, 1.3, 2.0]))
+    return nrows, ncols, cost, src, dst, weight
+
+
+@settings(max_examples=60, deadline=None)
+@given(congested_searches())
+def test_astar_arena_window_matches_reference(case):
+    nrows, ncols, cost, src, dst, weight = case
+    ref = astar_route_reference(src, dst, nrows, ncols, cost, heuristic_weight=weight)
+    windowed = astar_route(src, dst, nrows, ncols, cost, heuristic_weight=weight)
+    unwindowed = astar_route(
+        src, dst, nrows, ncols, cost, heuristic_weight=weight, window=False
+    )
+    assert windowed == ref
+    assert unwindowed == ref
