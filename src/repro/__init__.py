@@ -36,6 +36,7 @@ from .timing import analyze, fmax_mhz, pipeline_to_target
 from .power import estimate_power
 from .vivado import FlowResult, VivadoFlow
 from .rapidwright import ComponentDatabase, PreImplementedFlow, preimplement, relocate
+from .drc import DrcError, DrcReport, Severity, WaiverSet, run_drc
 from .memory import BestFitAllocator, plan_feature_maps
 from .analysis import compare_productivity, network_latency
 
@@ -84,6 +85,11 @@ __all__ = [
     "PreImplementedFlow",
     "preimplement",
     "relocate",
+    "DrcError",
+    "DrcReport",
+    "Severity",
+    "WaiverSet",
+    "run_drc",
     "BestFitAllocator",
     "plan_feature_maps",
     "compare_productivity",

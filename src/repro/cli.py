@@ -11,6 +11,11 @@
   model's component database through the parallel task-graph engine,
   with an optional persistent content-addressed build cache (a second
   run with the same ``--cache-dir`` is answered from cache).
+* ``drc --model lenet5 [--mode strict] [--sarif out.sarif]`` — build the
+  pre-implemented accelerator and sweep it (plus its component database)
+  through the full design-rule registry; ``--checkpoint FILE.dcpz``
+  checks a saved checkpoint instead.  Exit code 2 when an unwaived
+  error-or-worse violation survives in strict mode.
 * ``floorplan --model lenet5`` — stitch and render the ASCII floorplan.
 * ``explore --component conv2`` — sweep the function-optimization space
   for one of the stock LeNet components.
@@ -100,8 +105,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="phys-opt pipelining to the slowest-component bound")
     p_run.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the offline database build")
+    p_run.add_argument("--drc", default="off", choices=("off", "warn", "strict"),
+                       help="design-rule-check gates inside the pre-implemented "
+                            "flow (strict raises on error-or-worse violations)")
     p_run.add_argument("--seed", type=int, default=0)
     _add_trace_options(p_run)
+
+    p_drc = sub.add_parser(
+        "drc", help="design-rule-check a built accelerator or a checkpoint"
+    )
+    p_drc.add_argument("--model", default="lenet5", choices=sorted(MODEL_CATALOG),
+                       help="build this model's accelerator and check it "
+                            "(ignored with --checkpoint)")
+    p_drc.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="check a saved .dcpz checkpoint instead of building")
+    p_drc.add_argument("--part", default="ku5p-like", choices=sorted(PART_CATALOG))
+    p_drc.add_argument("--granularity", default="layer", choices=("layer", "block"))
+    p_drc.add_argument("--mode", default="strict", choices=("warn", "strict"),
+                       help="strict: exit 2 on unwaived error-or-worse findings")
+    p_drc.add_argument("--waivers", default=None, metavar="PATH",
+                       help="TOML/JSON waiver file of reviewed exceptions")
+    p_drc.add_argument("--sarif", default=None, metavar="PATH",
+                       help="write a SARIF 2.1 report here")
+    p_drc.add_argument("--json", default=None, metavar="PATH",
+                       help="write the JSON report here")
+    p_drc.add_argument("--max-fanout", type=int, default=None,
+                       help="NET-006 fanout ceiling (default 64)")
+    p_drc.add_argument("--require-routed", action="store_true",
+                       help="escalate unrouted nets to errors when checking a "
+                            "checkpoint (built models always require routes)")
+    p_drc.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the offline database build")
+    p_drc.add_argument("--seed", type=int, default=0)
+    _add_trace_options(p_drc)
 
     p_build = sub.add_parser(
         "build", help="pre-implement a component database (offline, parallel, cached)"
@@ -188,7 +224,8 @@ def _cmd_run(args, out) -> int:
             net, granularity=args.granularity, rom_weights=rom
         )
     if args.flow in ("preimpl", "both"):
-        flow = PreImplementedFlow(device, component_effort="high", seed=args.seed)
+        flow = PreImplementedFlow(device, component_effort="high", seed=args.seed,
+                                  drc=getattr(args, "drc", "off"))
         db, offline = flow.build_database(net, granularity=args.granularity,
                                           rom_weights=rom, jobs=args.jobs)
         results["preimpl"] = flow.run(
@@ -243,6 +280,51 @@ def _cmd_build(args, out) -> int:
     return 0
 
 
+def _cmd_drc(args, out) -> int:
+    import json as json_mod
+
+    from .drc import DEFAULT_MAX_FANOUT, WaiverSet, run_drc
+
+    device = Device.from_name(args.part)
+    waivers = WaiverSet.load(args.waivers) if args.waivers else None
+    max_fanout = args.max_fanout if args.max_fanout is not None else DEFAULT_MAX_FANOUT
+    database = None
+    if args.checkpoint:
+        from .netlist import load_checkpoint
+
+        design = load_checkpoint(args.checkpoint)
+        require_routed = args.require_routed
+        gate = f"checkpoint:{Path(args.checkpoint).name}"
+    else:
+        net = get_model(args.model)
+        flow = PreImplementedFlow(device, component_effort="high", seed=args.seed)
+        database, _ = flow.build_database(
+            net, granularity=args.granularity, jobs=args.jobs
+        )
+        design = flow.run(
+            net, granularity=args.granularity, database=database
+        ).design
+        require_routed = True
+        gate = f"model:{args.model}"
+    report = run_drc(
+        design,
+        device,
+        database=database,
+        waivers=waivers,
+        require_routed=require_routed,
+        max_fanout=max_fanout,
+        gate=gate,
+    )
+    print(report.table(), file=out)
+    if args.sarif:
+        Path(args.sarif).write_text(json_mod.dumps(report.to_sarif(), indent=2))
+        print(f"SARIF report written to {args.sarif}", file=out)
+    if args.json:
+        Path(args.json).write_text(json_mod.dumps(report.to_json(), indent=2))
+        print(f"JSON report written to {args.json}", file=out)
+    return report.exit_code(args.mode)
+
+
 def _cmd_floorplan(args, out) -> int:
     device = Device.from_name(args.part)
     net = get_model(args.model)
@@ -283,6 +365,7 @@ _COMMANDS = {
     "models": _cmd_models,
     "run": _cmd_run,
     "build": _cmd_build,
+    "drc": _cmd_drc,
     "floorplan": _cmd_floorplan,
     "explore": _cmd_explore,
     "trace-report": _cmd_trace_report,

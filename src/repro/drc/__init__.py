@@ -1,0 +1,49 @@
+"""repro.drc — rule-based static design-rule checking (lint).
+
+A DRC sweep collects *every* violation of a registry of severity-tagged
+rules — netlist connectivity (``NET-*``), clocking (``CLK-*``),
+placement legality (``PLC-*``), routing legality (``RTE-*``), and
+component-database integrity (``DB-*``) — instead of raising on the
+first, then reports as an aligned table, JSON, or SARIF 2.1 for CI.
+
+Entry points: :func:`run_drc` for one sweep, :class:`WaiverSet` for
+reviewed exceptions, ``python -m repro drc`` on the command line, and
+the ``drc=`` gates of :class:`repro.rapidwright.PreImplementedFlow`.
+:meth:`repro.netlist.Design.validate` is a thin adapter over the fatal
+subset of these rules.
+"""
+
+from . import rules_builtin  # noqa: F401  (registers the built-in rules)
+from .engine import (
+    CATEGORIES,
+    DEFAULT_MAX_FANOUT,
+    DrcContext,
+    DrcError,
+    DrcReport,
+    Rule,
+    all_rules,
+    rule,
+    rules_in,
+    run_drc,
+)
+from .violation import Location, Severity, Violation
+from .waivers import Waiver, WaiverError, WaiverSet
+
+__all__ = [
+    "CATEGORIES",
+    "DEFAULT_MAX_FANOUT",
+    "DrcContext",
+    "DrcError",
+    "DrcReport",
+    "Rule",
+    "rule",
+    "all_rules",
+    "rules_in",
+    "run_drc",
+    "Location",
+    "Severity",
+    "Violation",
+    "Waiver",
+    "WaiverError",
+    "WaiverSet",
+]

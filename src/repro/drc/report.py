@@ -1,0 +1,131 @@
+"""DRC report rendering: human table, JSON, and SARIF 2.1.
+
+The SARIF output follows the 2.1.0 schema closely enough for GitHub
+code-scanning upload: one run, a ``repro-drc`` driver carrying rule
+metadata for every rule that was swept, one result per violation with a
+logical location (netlists have no files to point at), and waived
+violations expressed as suppressed results rather than dropped.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import format_table
+from .violation import Severity
+
+__all__ = ["violation_table", "report_to_json", "report_to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def violation_table(report) -> str:
+    """Aligned ASCII table of every violation (waived ones marked)."""
+    if not report.violations:
+        return f"DRC {report.design}: clean ({len(report.rules_run)} rules swept)"
+    rows = []
+    for v in report.violations:
+        sev = str(v.severity) + (" (waived)" if v.waived else "")
+        rows.append([v.rule_id, sev, str(v.location), v.message])
+    title = report.summary()
+    return format_table(["rule", "severity", "location", "message"], rows, title=title)
+
+
+def report_to_json(report) -> dict:
+    """Machine-readable report (the ``--json`` CLI output)."""
+    return {
+        "design": report.design,
+        "gate": report.gate,
+        "rules_run": list(report.rules_run),
+        "counts": report.counts(),
+        "by_rule": report.by_rule(),
+        "n_waived": report.n_waived,
+        "clean": report.is_clean(),
+        "violations": [v.to_json() for v in report.violations],
+    }
+
+
+def _rule_metadata() -> list[dict]:
+    from .engine import all_rules
+
+    return [
+        {
+            "id": r.id,
+            "name": r.title.title().replace(" ", "").replace("-", ""),
+            "shortDescription": {"text": r.title},
+            "defaultConfiguration": {"level": r.severity.sarif_level},
+            "properties": {"category": r.category},
+        }
+        for r in all_rules()
+    ]
+
+
+def report_to_sarif(report) -> dict:
+    """SARIF 2.1.0 log with one run holding every violation as a result."""
+    swept = set(report.rules_run)
+    rules_meta = [r for r in _rule_metadata() if r["id"] in swept]
+    # WVR-001 (expired-waiver notice) is emitted by the waiver engine,
+    # not the registry; give it metadata when present so every result's
+    # ruleId resolves.
+    if any(v.rule_id == "WVR-001" for v in report.violations):
+        rules_meta.append(
+            {
+                "id": "WVR-001",
+                "name": "ExpiredWaiver",
+                "shortDescription": {"text": "expired waiver"},
+                "defaultConfiguration": {"level": Severity.INFO.sarif_level},
+                "properties": {"category": "waiver"},
+            }
+        )
+    rule_index = {r["id"]: i for i, r in enumerate(rules_meta)}
+
+    results = []
+    for v in report.violations:
+        result = {
+            "ruleId": v.rule_id,
+            "ruleIndex": rule_index.get(v.rule_id, -1),
+            "level": v.severity.sarif_level,
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "logicalLocations": [
+                        {
+                            "name": v.location.name,
+                            "fullyQualifiedName": str(v.location),
+                            "kind": v.location.kind,
+                        }
+                    ]
+                }
+            ],
+            "properties": {"design": v.design or report.design},
+        }
+        if v.waived:
+            result["suppressions"] = [
+                {
+                    "kind": "external",
+                    "status": "accepted",
+                    "justification": v.waived_reason,
+                }
+            ]
+        results.append(result)
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-drc",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+                "properties": {
+                    "design": report.design,
+                    "gate": report.gate,
+                    "rulesRun": list(report.rules_run),
+                },
+            }
+        ],
+    }

@@ -1,0 +1,10 @@
+"""Built-in rule registration.
+
+Importing this module populates the engine registry with every shipped
+rule; :func:`repro.drc.run_drc` imports it lazily so a bare
+``from repro.drc.engine import run_drc`` still sees the full rule set.
+"""
+
+from __future__ import annotations
+
+from . import rules_db, rules_netlist, rules_place, rules_route  # noqa: F401

@@ -1,0 +1,74 @@
+"""Database rules (DB-*): integrity of the component checkpoint store.
+
+These run only when a :class:`~repro.rapidwright.ComponentDatabase` is
+supplied.  They cross-check each record against the integrity metadata
+:meth:`~repro.rapidwright.ComponentDatabase.put_payload` stamps into the
+checkpoint (content fingerprint + locked-object counts), catching stores
+whose payloads were mutated after the fact — the component reuse
+guarantee of the pre-implemented flow rests on checkpoints being
+immutable.
+"""
+
+from __future__ import annotations
+
+from .engine import rule
+from .violation import Severity
+
+
+@rule("DB-001", category="database", severity="error", title="stale signature key")
+def db_stale_key(ctx, emit) -> None:
+    """A record stored under a key that no longer matches its signature —
+    the database would never answer ``get()`` for that component again."""
+    from ..rapidwright.database import signature_key
+
+    for key, record in ctx.database.records.items():
+        expected = signature_key(record.signature)
+        if key != expected:
+            emit("database", key,
+                 f"record {key} has stale signature key (signature now hashes "
+                 f"to {expected})", detail=expected)
+
+
+@rule("DB-002", category="database", severity="error", title="checkpoint hash mismatch")
+def db_hash_mismatch(ctx, emit) -> None:
+    """A checkpoint payload whose content no longer matches the integrity
+    fingerprint recorded when it was stored (mutation after ``put``)."""
+    from ..rapidwright.database import payload_fingerprint
+
+    for key, record in ctx.database.records.items():
+        integrity = (
+            record.payload.get("metadata", {}).get("component", {}).get("integrity")
+        )
+        if not integrity or "sha1" not in integrity:
+            emit("database", key,
+                 f"record {key} is a legacy checkpoint without an integrity "
+                 "fingerprint", severity=Severity.INFO)
+            continue
+        actual = payload_fingerprint(record.payload)
+        if actual != integrity["sha1"]:
+            emit("database", key,
+                 f"record {key} checkpoint hash mismatch: stored "
+                 f"{integrity['sha1'][:12]}, payload is {actual[:12]}")
+
+
+@rule("DB-003", category="database", severity="error", title="locked-cell drift")
+def db_locked_drift(ctx, emit) -> None:
+    """A checkpoint whose locked cell/net counts drifted from the counts
+    recorded at store time — pre-implemented internals were unlocked or
+    re-locked behind the database's back."""
+    for key, record in ctx.database.records.items():
+        integrity = (
+            record.payload.get("metadata", {}).get("component", {}).get("integrity")
+        )
+        if not integrity or "locked_cells" not in integrity:
+            continue  # DB-002 reports legacy records
+        cells = sum(1 for c in record.payload.get("cells", ()) if c["locked"])
+        nets = sum(1 for n in record.payload.get("nets", ()) if n["locked"])
+        if cells != integrity["locked_cells"]:
+            emit("database", key,
+                 f"record {key} locked-cell drift: stored "
+                 f"{integrity['locked_cells']}, payload has {cells}")
+        if nets != integrity.get("locked_nets", nets):
+            emit("database", key,
+                 f"record {key} locked-net drift: stored "
+                 f"{integrity['locked_nets']}, payload has {nets}")

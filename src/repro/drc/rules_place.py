@@ -1,0 +1,77 @@
+"""Placement rules (PLC-*): physical legality of cell placements.
+
+These run only when a device is supplied.  The fatal rules carry the
+exact messages :meth:`repro.netlist.Design.validate` historically raised
+(out of bounds, wrong tile, pblock escape, double-booking); PLC-001 is
+new — the fail-fast validator silently skipped unplaced cells.
+"""
+
+from __future__ import annotations
+
+from ..fabric.device import TILE_FOR_CELL
+from .engine import rule
+
+
+@rule("PLC-001", category="placement", severity="error", title="unplaced cell")
+def plc_unplaced(ctx, emit) -> None:
+    """A cell without a site.  Legal mid-flow, illegal in any checkpoint
+    or flow output that claims to be implemented."""
+    for cell in ctx.design.cells.values():
+        if not cell.is_placed:
+            emit("cell", cell.name, f"cell {cell.name} ({cell.ctype}) is unplaced")
+
+
+@rule("PLC-002", category="placement", severity="fatal", title="site double-booked")
+def plc_double_booked(ctx, emit) -> None:
+    """Two cells on the same site (one site per tile on this fabric)."""
+    occupied: dict[tuple[int, int], str] = {}
+    for cell in ctx.design.cells.values():
+        if not cell.is_placed:
+            continue
+        site = tuple(cell.placement)
+        if site in occupied:
+            emit("site", f"({site[0]},{site[1]})",
+                 f"site ({site[0]},{site[1]}) double-booked by "
+                 f"{occupied[site]} and {cell.name}")
+        else:
+            occupied[site] = cell.name
+
+
+@rule("PLC-003", category="placement", severity="fatal", title="wrong tile type")
+def plc_wrong_tile(ctx, emit) -> None:
+    """A cell placed on a column whose tile type cannot host its site."""
+    device = ctx.device
+    for cell in ctx.design.cells.values():
+        if not cell.is_placed:
+            continue
+        col, row = cell.placement
+        if not device.in_bounds(col, row):
+            continue  # PLC-005's problem
+        if device.tile_type(col) != TILE_FOR_CELL[cell.ctype]:
+            emit("cell", cell.name,
+                 f"cell {cell.name} ({cell.ctype}) on wrong tile type "
+                 f"{device.tile_type_name(col)} at {cell.placement}",
+                 detail=f"({col},{row})")
+
+
+@rule("PLC-004", category="placement", severity="fatal", title="pblock escape")
+def plc_pblock_escape(ctx, emit) -> None:
+    """A placed cell outside the design's pblock constraint."""
+    pblock = ctx.design.pblock
+    if pblock is None:
+        return
+    for cell in ctx.design.cells.values():
+        if cell.is_placed and not pblock.contains(*cell.placement):
+            emit("cell", cell.name,
+                 f"cell {cell.name} at {cell.placement} escapes {pblock}",
+                 detail=f"({cell.placement[0]},{cell.placement[1]})")
+
+
+@rule("PLC-005", category="placement", severity="fatal", title="placement out of bounds")
+def plc_out_of_bounds(ctx, emit) -> None:
+    """A placed cell outside the device grid."""
+    device = ctx.device
+    for cell in ctx.design.cells.values():
+        if cell.is_placed and not device.in_bounds(*cell.placement):
+            emit("cell", cell.name,
+                 f"cell {cell.name} placed out of bounds at {cell.placement}")

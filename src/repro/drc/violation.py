@@ -1,0 +1,108 @@
+"""Violation model: severities, locations, and the violation record.
+
+A :class:`Violation` is one design-rule breach found by a DRC sweep —
+the machine-readable unit every output format (table, JSON, SARIF) and
+the waiver engine operate on.  Severities form a total order so gates
+can be expressed as thresholds ("fail on error or worse").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+__all__ = ["Severity", "Location", "Violation"]
+
+
+class Severity(IntEnum):
+    """Violation severity, ordered least to most severe.
+
+    ``FATAL`` marks breaches of structural invariants the rest of the
+    stack assumes (the checks :meth:`repro.netlist.Design.validate`
+    raises for); ``ERROR`` marks designs that are structurally sound but
+    not legal to ship; ``WARNING``/``INFO`` never gate.
+    """
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+    FATAL = 40
+
+    @classmethod
+    def parse(cls, value: "Severity | str") -> "Severity":
+        if isinstance(value, Severity):
+            return value
+        try:
+            return cls[str(value).upper()]
+        except KeyError:
+            known = ", ".join(s.name.lower() for s in cls)
+            raise ValueError(f"unknown severity {value!r}; known: {known}") from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @property
+    def sarif_level(self) -> str:
+        """SARIF 2.1 ``level`` for this severity."""
+        if self >= Severity.ERROR:
+            return "error"
+        return "warning" if self is Severity.WARNING else "note"
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a violation sits: a named design object, optionally a site.
+
+    ``kind`` is the object class (``net``, ``cell``, ``port``, ``site``,
+    ``database``, ``design``); ``name`` the object's name; ``detail`` an
+    optional qualifier such as a ``(col,row)`` site or node id.  The
+    string form ``kind:name`` is what waiver ``match`` patterns are
+    tested against.
+    """
+
+    kind: str
+    name: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        base = f"{self.kind}:{self.name}"
+        return f"{base}@{self.detail}" if self.detail else base
+
+
+@dataclass
+class Violation:
+    """One rule breach at one location.
+
+    ``waived`` marks violations matched by an active waiver — they stay
+    in the report (and in SARIF, as suppressed results) but are excluded
+    from gating counts.
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    location: Location
+    design: str = ""
+    waived: bool = False
+    waived_reason: str = ""
+
+    def to_json(self) -> dict:
+        out = {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+            "location": {
+                "kind": self.location.kind,
+                "name": self.location.name,
+                "detail": self.location.detail,
+            },
+            "design": self.design,
+            "waived": self.waived,
+        }
+        if self.waived:
+            out["waived_reason"] = self.waived_reason
+        return out
+
+    def __str__(self) -> str:
+        flag = " (waived)" if self.waived else ""
+        return f"[{self.rule_id}] {self.severity}: {self.message}{flag}"

@@ -1,0 +1,137 @@
+"""Waiver files: reviewed exceptions to DRC findings.
+
+A waiver file (TOML or JSON, by suffix) holds a list of waivers::
+
+    [[waivers]]
+    rules = ["NET-001", "CLK-*"]      # fnmatch patterns on rule ids
+    match = "net:conv1/*"             # fnmatch on the location string
+    reason = "boundary net, externally driven"
+    expires = "2027-01-01"            # optional ISO date; omitted = never
+
+A waiver *suppresses* matching violations: they stay in the report and
+in SARIF output (as suppressed results) but no longer count toward the
+gate.  Expired waivers are inert and surface as ``WVR-001`` info
+violations so stale exceptions cannot silently linger.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from datetime import date
+from fnmatch import fnmatch
+from pathlib import Path
+
+from .violation import Location, Severity, Violation
+
+__all__ = ["Waiver", "WaiverSet", "WaiverError"]
+
+
+class WaiverError(ValueError):
+    """Raised for malformed waiver files."""
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One reviewed exception.
+
+    ``rules`` are fnmatch patterns over rule ids; ``match`` is an
+    fnmatch pattern tested against both the violation's location string
+    (``kind:name``) and its bare object name.
+    """
+
+    rules: tuple[str, ...]
+    match: str = "*"
+    reason: str = ""
+    expires: date | None = None
+
+    def active(self, today: date) -> bool:
+        return self.expires is None or today <= self.expires
+
+    def covers(self, violation: Violation) -> bool:
+        if not any(fnmatch(violation.rule_id, pat) for pat in self.rules):
+            return False
+        loc = violation.location
+        return fnmatch(str(loc), self.match) or fnmatch(loc.name, self.match)
+
+
+@dataclass
+class WaiverSet:
+    """An ordered collection of waivers loaded from one file."""
+
+    waivers: list[Waiver]
+    source: str = "<memory>"
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WaiverSet":
+        """Load a waiver file; TOML when the suffix is ``.toml``, else JSON."""
+        path = Path(path)
+        try:
+            if path.suffix == ".toml":
+                import tomllib
+
+                data = tomllib.loads(path.read_text())
+            else:
+                data = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise WaiverError(f"cannot read waiver file {path}: {exc}") from exc
+        return cls.from_dict(data, source=str(path))
+
+    @classmethod
+    def from_dict(cls, data: dict, source: str = "<memory>") -> "WaiverSet":
+        if not isinstance(data, dict) or "waivers" not in data:
+            raise WaiverError(f"{source}: waiver file must have a top-level 'waivers' list")
+        waivers: list[Waiver] = []
+        for i, entry in enumerate(data["waivers"]):
+            if not isinstance(entry, dict) or not entry.get("rules"):
+                raise WaiverError(f"{source}: waiver #{i} needs a non-empty 'rules' list")
+            rules = entry["rules"]
+            if isinstance(rules, str):
+                rules = [rules]
+            expires = entry.get("expires")
+            if isinstance(expires, str):
+                try:
+                    expires = date.fromisoformat(expires)
+                except ValueError as exc:
+                    raise WaiverError(
+                        f"{source}: waiver #{i} has bad expires {entry['expires']!r}"
+                    ) from exc
+            waivers.append(
+                Waiver(
+                    rules=tuple(str(r) for r in rules),
+                    match=str(entry.get("match", "*")),
+                    reason=str(entry.get("reason", "")),
+                    expires=expires,
+                )
+            )
+        return cls(waivers=waivers, source=source)
+
+    def apply(
+        self, violations: list[Violation], *, today: date | None = None
+    ) -> list[Violation]:
+        """Mark waived violations in place; return expired-waiver notices.
+
+        ``today`` is injectable for tests; defaults to the current date.
+        """
+        today = today or date.today()
+        notices: list[Violation] = []
+        for waiver in self.waivers:
+            if not waiver.active(today):
+                notices.append(
+                    Violation(
+                        rule_id="WVR-001",
+                        severity=Severity.INFO,
+                        message=(
+                            f"waiver for {', '.join(waiver.rules)} (match "
+                            f"{waiver.match!r}) expired {waiver.expires}; it no "
+                            "longer suppresses violations"
+                        ),
+                        location=Location("waiver", self.source, str(waiver.expires)),
+                    )
+                )
+                continue
+            for violation in violations:
+                if not violation.waived and waiver.covers(violation):
+                    violation.waived = True
+                    violation.waived_reason = waiver.reason or "waived"
+        return notices

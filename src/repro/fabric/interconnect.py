@@ -93,6 +93,24 @@ class RoutingGraph:
         if col - HEX_REACH >= 0:
             yield node - HEX_REACH * nrows, HEX_COST, HEX_REACH
 
+    def is_wire_edge(self, a: int, b: int) -> bool:
+        """True when a single or hex wire connects nodes *a* and *b*.
+
+        The membership test behind :meth:`neighbors` — DRC uses it to
+        check that committed route paths only take hops a real wire
+        provides.
+        """
+        n = self.n_nodes
+        if not (0 <= a < n and 0 <= b < n):
+            return False
+        (ca, ra), (cb, rb) = self.node_xy(a), self.node_xy(b)
+        dc, dr = abs(ca - cb), abs(ra - rb)
+        if dc == 0:
+            return dr in (1, HEX_REACH)
+        if dr == 0:
+            return dc in (1, HEX_REACH)
+        return False
+
     # -- path metrics ----------------------------------------------------
 
     def path_tiles(self, path: list[int]) -> int:

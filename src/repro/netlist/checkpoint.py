@@ -9,6 +9,7 @@ locked routes and partition-pin tiles.
 
 from __future__ import annotations
 
+import copy
 import gzip
 import json
 from pathlib import Path
@@ -39,7 +40,11 @@ def design_to_dict(design: Design) -> dict:
             if design.pblock
             else None
         ),
-        "metadata": design.metadata,
+        # Deep-copied: the serialized payload may outlive the design (it
+        # becomes the database record), so nested metadata dicts must not
+        # alias live design state — DRC rule DB-002 catches exactly the
+        # after-the-fact record mutation such aliasing causes.
+        "metadata": copy.deepcopy(design.metadata),
         "cells": [
             {
                 "name": c.name,
@@ -87,7 +92,7 @@ def design_from_dict(data: dict) -> Design:
         raise ValueError(f"unsupported checkpoint format {version!r}")
     pblock = PBlock(*data["pblock"]) if data.get("pblock") else None
     design = Design(data["name"], pblock=pblock)
-    design.metadata = dict(data.get("metadata", {}))
+    design.metadata = copy.deepcopy(data.get("metadata", {}))
     for c in data["cells"]:
         design.add_cell(
             Cell(

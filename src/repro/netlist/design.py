@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 
-from ..fabric.device import Device, SITE_FOR_TILE, TILE_FOR_CELL
+from ..fabric.device import Device
 from ..fabric.pblock import PBlock
 from .cell import Cell
 from .net import Net, Port
@@ -19,7 +19,17 @@ __all__ = ["Design", "DesignError"]
 
 
 class DesignError(ValueError):
-    """Raised when a design violates a structural invariant."""
+    """Raised when a design violates a structural invariant.
+
+    When the failure came from a DRC-backed check (:meth:`Design.validate`,
+    strict flow gates), ``violations`` carries every
+    :class:`repro.drc.Violation` behind it — not just the first one.
+    Plain string raises leave it empty.
+    """
+
+    def __init__(self, message: str = "", violations: list | None = None) -> None:
+        super().__init__(message)
+        self.violations = list(violations or [])
 
 
 class Design:
@@ -175,43 +185,27 @@ class Design:
         * Input-port nets have no cell driver; all other nets do.
         * With *device*: placements in bounds, on matching tile types,
           inside the pblock when set, one cell per site.
-        """
-        input_nets = {p.net for p in self.ports.values() if p.direction == "in"}
-        for net in self.nets.values():
-            if net.driver is None:
-                if net.name not in input_nets and not net.is_clock:
-                    raise DesignError(f"net {net.name} has no driver and no input port")
-            elif net.driver not in self.cells:
-                raise DesignError(f"net {net.name} driven by unknown cell {net.driver!r}")
-            for sink in net.sinks:
-                if sink not in self.cells:
-                    raise DesignError(f"net {net.name} sinks unknown cell {sink!r}")
-        for port in self.ports.values():
-            if port.net not in self.nets:
-                raise DesignError(f"port {port.name} references unknown net {port.net!r}")
 
-        if device is None:
-            return
-        occupied: dict[tuple[int, int], str] = {}
-        for cell in self.cells.values():
-            if not cell.is_placed:
-                continue
-            col, row = cell.placement
-            if not device.in_bounds(col, row):
-                raise DesignError(f"cell {cell.name} placed out of bounds at {cell.placement}")
-            want_tile = TILE_FOR_CELL[cell.ctype]
-            if device.tile_type(col) != want_tile:
-                raise DesignError(
-                    f"cell {cell.name} ({cell.ctype}) on wrong tile type "
-                    f"{device.tile_type_name(col)} at {cell.placement}"
-                )
-            if self.pblock is not None and not self.pblock.contains(col, row):
-                raise DesignError(f"cell {cell.name} at {cell.placement} escapes {self.pblock}")
-            if (col, row) in occupied:
-                raise DesignError(
-                    f"site ({col},{row}) double-booked by {occupied[(col, row)]} and {cell.name}"
-                )
-            occupied[(col, row)] = cell.name
+        Backed by the fatal subset of the DRC registry
+        (:func:`repro.drc.run_drc`): unlike the historical fail-fast
+        checks, *every* fatal violation is collected and the raised
+        error carries the full list as ``DesignError.violations``.
+        """
+        from ..drc import Severity, all_rules, run_drc
+
+        categories = ("netlist",) if device is None else ("netlist", "placement")
+        fatal_ids = [
+            r.id
+            for r in all_rules()
+            if r.severity is Severity.FATAL and r.category in categories
+        ]
+        report = run_drc(self, device, rules=fatal_ids, gate="validate")
+        fatal = report.failing(Severity.FATAL)
+        if fatal:
+            raise DesignError(
+                "; ".join(f"[{v.rule_id}] {v.message}" for v in fatal),
+                violations=fatal,
+            )
 
     # -- reporting -----------------------------------------------------------
 

@@ -5,7 +5,9 @@ network synthesizer, and the RapidWright-style architecture composer.
 ports" step (Algorithm 1, lines 15-17): it splices a new top-level net
 from the internal driver behind one component's output port to the
 internal sinks behind the next component's input port, then removes the
-now-dangling boundary nets.
+now-dangling boundary nets.  ``prune_dangling_nets`` sweeps up any
+boundary nets a composition left behind unbridged (DRC rule ``NET-001``
+flags exactly these), so stitched designs come out DRC-clean.
 """
 
 from __future__ import annotations
@@ -14,7 +16,7 @@ from ..obs.span import incr
 from .design import Design, DesignError
 from .net import Net, Port
 
-__all__ = ["bridge_ports", "merge_clock_nets", "expose_port"]
+__all__ = ["bridge_ports", "merge_clock_nets", "expose_port", "prune_dangling_nets"]
 
 
 def bridge_ports(
@@ -54,6 +56,29 @@ def expose_port(
     return top.add_port(
         Port(port_name, direction, net.name, width=max(width, net.width), protocol=protocol)
     )
+
+
+def prune_dangling_nets(top: Design) -> list[str]:
+    """Remove dangling boundary nets left behind by composition.
+
+    A data net is pruned only when nothing can ever read it: it has no
+    sinks *and* no port references it (an unbridged component output or
+    a fully disconnected leftover).  Undriven nets *with* sinks are
+    never touched — those are real errors for :meth:`Design.validate` /
+    DRC rule ``NET-002`` to report, not residue to sweep under the rug.
+    Returns the pruned net names.
+    """
+    port_nets = {p.net for p in top.ports.values()}
+    pruned = [
+        net.name
+        for net in top.nets.values()
+        if not net.is_clock and not net.sinks and net.name not in port_nets
+    ]
+    for name in pruned:
+        del top.nets[name]
+    if pruned:
+        incr("stitch.pruned", len(pruned))
+    return pruned
 
 
 def merge_clock_nets(top: Design, name: str = "clk") -> Port:

@@ -13,6 +13,7 @@ from bisect import bisect_left, insort
 
 import numpy as np
 
+from ..netlist.design import DesignError
 from .problem import PlacementProblem
 
 __all__ = ["legalize"]
@@ -21,7 +22,9 @@ __all__ = ["legalize"]
 class _ColumnPool:
     """Free sites of one resource type, organised per column."""
 
-    def __init__(self, sites: np.ndarray) -> None:
+    def __init__(self, sites: np.ndarray, ctype: str = "?") -> None:
+        self.ctype = ctype
+        self.n_sites = len(sites)
         self.rows: dict[int, list[int]] = {}
         for col, row in sites:
             self.rows.setdefault(int(col), []).append(int(row))
@@ -31,7 +34,10 @@ class _ColumnPool:
 
     def take_nearest(self, x: float, y: float) -> tuple[int, int]:
         if not self.cols:
-            raise RuntimeError("column pool exhausted")
+            raise DesignError(
+                f"column pool exhausted: all {self.n_sites} {self.ctype} sites "
+                "taken during legalization (pblock too small for the design)"
+            )
         idx = bisect_left(self.cols, x)
         # examine the two candidate columns bracketing x, expanding outward
         best_col = None
@@ -71,7 +77,7 @@ def legalize(problem: PlacementProblem, pos: np.ndarray) -> np.ndarray:
     ctypes = np.asarray(problem.ctypes)
     for ctype in dict.fromkeys(problem.ctypes):
         members = np.flatnonzero(ctypes == ctype)
-        pool = _ColumnPool(problem.site_pools[ctype])
+        pool = _ColumnPool(problem.site_pools[ctype], ctype=ctype)
         # x-sorted sweep keeps horizontal order, limiting displacement
         order = members[np.argsort(pos[members, 0], kind="stable")]
         for i in order:

@@ -32,7 +32,12 @@ from ..netlist.checkpoint import (
 )
 from ..netlist.design import Design
 
-__all__ = ["ComponentDatabase", "signature_key", "build_cache_key"]
+__all__ = [
+    "ComponentDatabase",
+    "signature_key",
+    "build_cache_key",
+    "payload_fingerprint",
+]
 
 
 def signature_key(signature: tuple) -> str:
@@ -51,6 +56,25 @@ def signature_key(signature: tuple) -> str:
     cannot be recovered and get path-stem placeholder signatures.
     """
     return hashlib.sha1(canonical_blob(signature)).hexdigest()[:16]
+
+
+def payload_fingerprint(payload: dict) -> str:
+    """Content hash of a checkpoint payload, for integrity checking.
+
+    Hashes the canonical serialization of the payload *excluding* the
+    ``metadata.component`` keys :meth:`ComponentDatabase.put_payload`
+    itself writes (``signature``, ``integrity``), so the fingerprint is
+    stable across re-puts and identical for serial, parallel, and
+    cache-served builds of the same component.
+    """
+    meta = payload.get("metadata", {})
+    comp = meta.get("component", {})
+    scrubbed = dict(payload)
+    scrubbed["metadata"] = {k: v for k, v in meta.items() if k != "component"}
+    scrubbed["metadata"]["component"] = {
+        k: v for k, v in comp.items() if k not in ("signature", "integrity")
+    }
+    return hashlib.sha1(canonical_blob(scrubbed)).hexdigest()
 
 
 def build_cache_key(
@@ -141,6 +165,11 @@ class ComponentDatabase:
         key = signature_key(signature)
         meta = payload.setdefault("metadata", {}).setdefault("component", {})
         meta["signature"] = _signature_to_json(signature)
+        meta["integrity"] = {
+            "sha1": payload_fingerprint(payload),
+            "locked_cells": sum(1 for c in payload.get("cells", ()) if c["locked"]),
+            "locked_nets": sum(1 for n in payload.get("nets", ()) if n["locked"]),
+        }
         self.records[key] = _Record(
             signature=signature, payload=payload, fmax_mhz=fmax_mhz
         )

@@ -54,6 +54,14 @@ class PreImplementedFlow:
         Strategic port planning during OOC (ablation toggle).
     halo:
         Congestion halo (tiles) for the component placer.
+    drc:
+        Design-rule-check gating: ``"off"`` (default, no sweeps),
+        ``"warn"`` (sweep at every gate, collect reports in
+        ``result.extras["drc"]``), or ``"strict"`` (additionally raise
+        :class:`repro.drc.DrcError` when a gate finds error-or-worse
+        violations).  Gates run on each matched component pre-stitch, on
+        the stitched design pre-route, and on the routed design
+        post-route (with database integrity checks).
     """
 
     def __init__(
@@ -65,13 +73,17 @@ class PreImplementedFlow:
         plan_ports: bool = True,
         halo: int = 4,
         delays: DelayModel = DEFAULT_DELAYS,
+        drc: str = "off",
     ) -> None:
+        if drc not in ("off", "warn", "strict"):
+            raise ValueError(f"unknown drc mode {drc!r}; use off, warn, or strict")
         self.device = device
         self.component_effort = component_effort
         self.seed = seed
         self.plan_ports = plan_ports
         self.halo = halo
         self.delays = delays
+        self.drc = drc
         self.graph = RoutingGraph(device)
 
     # -- phase 1: function optimization (offline) --------------------------
@@ -126,6 +138,36 @@ class PreImplementedFlow:
             plan_ports=self.plan_ports,
         )
         return scheduler
+
+    def _drc_gate(
+        self,
+        gate: str,
+        design: "Design",
+        *,
+        require_routed: bool = False,
+        database: ComponentDatabase | None = None,
+    ) -> "object | None":
+        """Run one DRC gate per :attr:`drc` mode.
+
+        Returns the report (``warn``/``strict``), or ``None`` when DRC is
+        off.  ``strict`` raises :class:`repro.drc.DrcError` on
+        error-or-worse violations.
+        """
+        if self.drc == "off":
+            return None
+        from ..drc import DrcError, run_drc
+
+        report = run_drc(
+            design,
+            self.device,
+            graph=self.graph,
+            database=database,
+            require_routed=require_routed,
+            gate=gate,
+        )
+        if self.drc == "strict" and not report.is_clean():
+            raise DrcError(gate, report)
+        return report
 
     # -- phase 2: architecture optimization (timed) -------------------------
 
@@ -220,6 +262,14 @@ class PreImplementedFlow:
                 scheduler = self._scheduler_for(components)
                 items.append(("scheduler", scheduler))
 
+        drc_reports = []
+        for item_name, item_design in items:
+            gate_report = self._drc_gate(
+                f"component:{item_name}", item_design, require_routed=True
+            )
+            if gate_report is not None:
+                drc_reports.append(gate_report)
+
         with timer.stage("rw:component_placement"):
             placer = ComponentPlacer(self.device, halo=self.halo)
             if share_components:
@@ -250,6 +300,10 @@ class PreImplementedFlow:
                     modules=dict(items),
                 )
             top = stitch.top
+
+        gate_report = self._drc_gate("pre_route", top, require_routed=False)
+        if gate_report is not None:
+            drc_reports.append(gate_report)
 
         with timer.stage("vivado:inter_route"):
             route = Router(self.device, self.graph, seed=self.seed).route(top, timer=timer)
@@ -285,6 +339,14 @@ class PreImplementedFlow:
                 extras["pipeline"] = pipe
             with timer.stage("vivado:reroute"):
                 route = Router(self.device, self.graph, seed=self.seed).route(top)
+
+        gate_report = self._drc_gate(
+            "post_route", top, require_routed=True, database=database
+        )
+        if gate_report is not None:
+            drc_reports.append(gate_report)
+        if self.drc != "off":
+            extras["drc"] = drc_reports
 
         with timer.stage("timing"):
             timing = analyze(top, self.device, self.graph, self.delays)

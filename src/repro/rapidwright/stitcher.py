@@ -17,7 +17,7 @@ from ..cnn.graph import Component
 from ..fabric.device import Device
 from ..netlist.design import Design, DesignError
 from ..netlist.net import Port
-from ..netlist.stitch import bridge_ports, merge_clock_nets
+from ..netlist.stitch import bridge_ports, merge_clock_nets, prune_dangling_nets
 from .database import ComponentDatabase
 from .module import relocate
 
@@ -42,6 +42,9 @@ class StitchResult:
     top: Design
     records: list[StitchRecord] = field(default_factory=list)
     stitch_nets: list[str] = field(default_factory=list)
+    #: Dangling boundary nets swept up after stitching (normally empty;
+    #: non-empty means a component port went unbridged).
+    pruned_nets: list[str] = field(default_factory=list)
 
     @property
     def slowest_component_mhz(self) -> float:
@@ -125,6 +128,7 @@ def compose(
         n_components=len(components),
         slowest_component_mhz=result.slowest_component_mhz,
     )
+    result.pruned_nets = prune_dangling_nets(top)
     top.validate(device)
     return result
 
@@ -214,5 +218,6 @@ def compose_shared(
         passes=len(components),
         slowest_component_mhz=result.slowest_component_mhz,
     )
+    result.pruned_nets = prune_dangling_nets(top)
     top.validate(device)
     return result

@@ -35,7 +35,7 @@ from ..fabric.interconnect import HEX_COST, RoutingGraph
 from ..netlist.design import Design, DesignError
 from .maze import _window_bounds, astar_route, direct_path
 
-__all__ = ["Router", "RouteResult", "RoutingError"]
+__all__ = ["Router", "RouteResult", "RoutingError", "routed_occupancy"]
 
 #: Weighted-A* factor used on reroute passes (bounded suboptimality).
 _REROUTE_WEIGHT = 1.15
@@ -158,6 +158,42 @@ def _window_cost_map(
     return cmap
 
 
+def routed_occupancy(
+    design: Design, graph: RoutingGraph
+) -> tuple[np.ndarray, dict[str, dict[int, int]], int]:
+    """Occupancy charged by a design's committed routes.
+
+    Returns ``(occupancy, net_usage, preexisting)``: the per-node float
+    occupancy array, the per-net node-use counts behind it, and how many
+    connections were already routed.  Branches of one net share trunk
+    wires, so a node is charged ``net.width`` once per net however many
+    of the net's sink paths cross it; endpoint tiles (``path[0]`` and
+    ``path[-1]``) are cell pins, not wires, and are never charged.
+
+    This is the :class:`Router` setup accounting, factored out so DRC
+    rule ``RTE-002`` measures overuse with exactly the router's
+    arithmetic (same iteration order, bit-identical float sums).
+    """
+    occupancy = np.zeros(graph.n_nodes, dtype=np.float64)
+    net_usage: dict[str, dict[int, int]] = {}
+    preexisting = 0
+    for net in design.nets.values():
+        if net.is_clock or net.driver is None:
+            continue
+        usage = net_usage.setdefault(net.name, {})
+        for i in range(len(net.sinks)):
+            if net.routes[i] is None:
+                continue
+            # endpoint tiles are cell pins, not routing wires
+            for node in net.routes[i][1:-1]:
+                count = usage.get(node, 0)
+                usage[node] = count + 1
+                if count == 0:
+                    occupancy[node] += net.width
+            preexisting += 1
+    return occupancy, net_usage, preexisting
+
+
 class Router:
     """Negotiated-congestion router over a device's routing graph.
 
@@ -222,28 +258,14 @@ class Router:
             )
 
         with timer.stage("route/setup"):
-            occupancy = np.zeros(graph.n_nodes, dtype=np.float64)
-            preexisting = 0
+            occupancy, net_usage, preexisting = routed_occupancy(design, graph)
             targets: list[_Target] = []
-            # Branches of one net share trunk wires: a node is charged once
-            # per net, however many of the net's sink paths cross it.
-            net_usage: dict[str, dict[int, int]] = {}
             for net in design.nets.values():
-                if net.is_clock or net.driver is None:
+                if net.is_clock or net.driver is None or net.locked:
                     continue
                 driver = design.cells[net.driver]
-                usage = net_usage.setdefault(net.name, {})
                 for i, sink_name in enumerate(net.sinks):
                     if net.routes[i] is not None:
-                        # endpoint tiles are cell pins, not routing wires
-                        for node in net.routes[i][1:-1]:
-                            count = usage.get(node, 0)
-                            usage[node] = count + 1
-                            if count == 0:
-                                occupancy[node] += net.width
-                        preexisting += 1
-                        continue
-                    if net.locked:
                         continue
                     sink = design.cells[sink_name]
                     if not driver.is_placed or not sink.is_placed:

@@ -20,7 +20,7 @@ from ..netlist.design import Design
 from ..obs.span import incr, span
 from .delays import DEFAULT_DELAYS, DelayModel
 
-__all__ = ["TimingReport", "TimingError", "analyze", "fmax_mhz"]
+__all__ = ["TimingReport", "TimingError", "analyze", "fmax_mhz", "combinational_loops"]
 
 
 class TimingError(ValueError):
@@ -138,9 +138,16 @@ def _analyze(
 
     unresolved = [n for n, d in indeg.items() if d > 0]
     if unresolved:
+        loops = combinational_loops(design)
+        if loops:
+            detail = "; ".join(
+                ", ".join(loop[:5]) + (f" (+{len(loop) - 5} more)" if len(loop) > 5 else "")
+                for loop in loops[:3]
+            )
+        else:
+            detail = f"{sorted(unresolved)[:5]} (+{max(0, len(unresolved) - 5)} more)"
         raise TimingError(
-            f"design {design.name}: combinational loop involving "
-            f"{sorted(unresolved)[:5]} (+{max(0, len(unresolved) - 5)} more)"
+            f"design {design.name}: combinational loop involving {detail}"
         )
 
     # Path endpoints: sequential cell inputs.
@@ -180,6 +187,79 @@ def _analyze(
 
     sta_span.set(period_ps=round(worst, 3), endpoints=n_paths, depth=len(path))
     return TimingReport(design.name, worst, delays.clock_overhead_ps, path, n_paths)
+
+
+def combinational_loops(design: Design) -> list[list[str]]:
+    """Cycles through combinational cells only, as sorted cell-name lists.
+
+    Computes the strongly-connected components of the data-net subgraph
+    restricted to combinational cells (iterative Tarjan — stock designs
+    chain thousands of cells deep, so recursion is off the table) and
+    returns every component of size > 1, plus single cells with a
+    self-edge.  STA raises :class:`TimingError` for exactly these;
+    DRC rule ``NET-005`` reports them without raising.
+    """
+    cells = design.cells
+    edges: dict[str, list[str]] = {n: [] for n, c in cells.items() if not c.seq}
+    self_loops: set[str] = set()
+    for net in design.nets.values():
+        if net.is_clock or net.driver is None or net.driver not in edges:
+            continue
+        for sink in net.sinks:
+            if sink in edges:
+                edges[net.driver].append(sink)
+                if sink == net.driver:
+                    self_loops.add(sink)
+
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = 0
+    sccs: list[list[str]] = []
+
+    for root in edges:
+        if root in index:
+            continue
+        # Iterative Tarjan: (node, iterator position) work stack.
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, ptr = work.pop()
+            if ptr == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            succs = edges[node]
+            while ptr < len(succs):
+                succ = succs[ptr]
+                ptr += 1
+                if succ not in index:
+                    work.append((node, ptr))
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or component[0] in self_loops:
+                    sccs.append(sorted(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+    sccs.sort()
+    return sccs
 
 
 def _worst_arrival(
