@@ -189,7 +189,7 @@ def bench_sta(device, design, reps):
     return {
         "wall_s": round(wall, 4),
         "fmax_mhz": round(report.fmax_mhz, 2),
-        "endpoints": report.n_paths,
+        "n_paths": report.n_paths,
     }
 
 

@@ -1,0 +1,243 @@
+"""Incremental-STA benchmark: session pipelining vs reference-per-edit.
+
+Times the phys-opt pipelining loop (:func:`repro.timing.pipeline_to_target`
+driven to an unreachable target, so it inserts registers until no split
+helps and finishes with one reverted attempt) with two timing backends:
+
+* **opt** — one long-lived :class:`repro.timing.IncrementalSta` session:
+  the timing graph compiles once, then every insertion pays a scan +
+  memoized edge delays + cone-limited repropagation;
+* **ref** — :func:`repro.timing.analyze_reference` re-run from scratch
+  after every edit, the way the loop worked before sessions existed.
+
+Every workload asserts the two backends produce **bit-identical**
+reports (period, critical path, ``n_paths``) at every step before any
+timing is taken, so the speedup can never come from divergence.
+
+Workloads (results keyed by name in ``BENCH_sta.json``):
+
+* ``lenet5_flat`` — monolithic LeNet-5 on the ``small`` part (nothing
+  locked, many splittable nets; the gated workload);
+* ``lenet5_preimpl`` — the stitched pre-implemented LeNet (component
+  internals locked, only stitch nets splittable; informational);
+* ``vgg16_flat`` — the monolithic block-granularity VGG-16 baseline on
+  the ``ku5p-like`` part, register budget capped so the workload stays
+  bounded (full mode only — placing and routing ~31 k cells dominates
+  setup).  The *stitched* VGG is deliberately not benchmarked: at low
+  component effort its critical path sits inside locked component
+  internals, so ``pipeline_to_target`` finds no splittable hop and the
+  loop degenerates to a single analysis.
+
+Every timed section is measured interleaved (opt, ref, opt, ref, ...)
+and reported as the min over repetitions.  ``--check BASELINE``
+compares *speedup ratios* against a committed baseline (fails on a
+>20 % regression) and enforces the >=3x floor on ``lenet5_flat``;
+``--quick`` cuts repetitions and skips the VGG workload but keeps the
+LeNet workloads identical, so quick ratios remain comparable.
+
+Usage::
+
+    python benchmarks/bench_sta.py [--quick] [--out BENCH_sta.json]
+    python benchmarks/bench_sta.py --quick --check benchmarks/BENCH_sta.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import gc
+import json
+import sys
+import time
+
+from repro.cnn import lenet5, vgg16
+from repro.fabric import Device
+from repro.rapidwright import PreImplementedFlow
+from repro.timing import IncrementalSta, analyze_reference, pipeline_to_target
+from repro.vivado import VivadoFlow
+
+SEED = 0
+FLAT_SPEEDUP_FLOOR = 3.0  # acceptance gate for lenet5_flat in --check mode
+
+
+class RefPerEditSession:
+    """Drop-in session that recomputes from scratch on every analyze()."""
+
+    def __init__(self, design, device, graph):
+        self.design = design
+        self.device = device
+        self.graph = graph
+
+    def analyze(self):
+        return analyze_reference(self.design, self.device, self.graph)
+
+
+class Recording:
+    """Session wrapper collecting every report for the identity check."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.reports = []
+
+    @property
+    def design(self):
+        return self.inner.design
+
+    def analyze(self):
+        report = self.inner.analyze()
+        self.reports.append((report.period_ps, tuple(report.critical_path),
+                             report.n_paths))
+        return report
+
+
+# -- workload construction -----------------------------------------------------
+
+
+def build_lenet_flat():
+    device = Device.from_name("small")
+    flow = VivadoFlow(device, seed=SEED)
+    result = flow.run(lenet5(), granularity="layer", rom_weights=True)
+    return result.design, device, flow.graph
+
+
+def build_lenet_preimpl():
+    device = Device.from_name("small")
+    flow = PreImplementedFlow(device, component_effort="low", seed=SEED)
+    net = lenet5()
+    db, _timer = flow.build_database(net, rom_weights=True)
+    result = flow.run(net, rom_weights=True, database=db)
+    return result.design, device, flow.graph
+
+
+def build_vgg_flat():
+    device = Device.from_name("ku5p-like")
+    flow = VivadoFlow(device, seed=SEED)
+    result = flow.run(vgg16(), granularity="block", rom_weights=False)
+    return result.design, device, flow.graph
+
+
+def _pipeline_run(base, device, graph, make_session, max_regs):
+    """Pipeline a fresh copy of *base*; time only the pipelining loop.
+
+    The deepcopy (pure harness setup, identical for both backends) stays
+    outside the measurement so the ratio reflects STA work: for opt, the
+    one-time graph compile plus per-edit incremental analyses; for ref,
+    a full re-analysis per edit.
+    """
+    design = copy.deepcopy(base)
+    session = Recording(make_session(design, device, graph))
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        result = pipeline_to_target(design, device, 0.0, graph=graph,
+                                    session=session, max_regs=max_regs)
+        elapsed = time.perf_counter() - t0
+    finally:
+        gc.enable()
+    return elapsed, session.reports, result.inserted
+
+
+def _interleaved_min(fn_opt, fn_ref, reps):
+    # Interleave (opt, ref, opt, ref, ...) so drift hits both sides; each
+    # fn returns its own inner-timed duration (GC handled per run).
+    opt_s = ref_s = float("inf")
+    for _ in range(reps):
+        opt_s = min(opt_s, fn_opt()[0])
+        ref_s = min(ref_s, fn_ref()[0])
+    return opt_s, ref_s
+
+
+def bench_workload(name, builder, reps, max_regs=64):
+    base, device, graph = builder()
+
+    def run_opt():
+        return _pipeline_run(base, device, graph,
+                             lambda d, dev, g: IncrementalSta(d, dev, g),
+                             max_regs)
+
+    def run_ref():
+        return _pipeline_run(base, device, graph, RefPerEditSession, max_regs)
+
+    _t, reports_opt, inserted_opt = run_opt()
+    _t, reports_ref, inserted_ref = run_ref()
+    assert inserted_opt == inserted_ref, f"{name}: insertion counts diverged"
+    assert reports_opt == reports_ref, f"{name}: reports not bit-identical"
+
+    opt_s, ref_s = _interleaved_min(run_opt, run_ref, reps)
+    return {
+        "cells": len(base.cells),
+        "nets": len(base.nets),
+        "analyses": len(reports_opt),
+        "inserted": inserted_opt,
+        "opt_s": round(opt_s, 4),
+        "ref_s": round(ref_s, 4),
+        "speedup": round(ref_s / opt_s, 3),
+    }
+
+
+def check_against(current, baseline_path, tolerance=0.20):
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures = []
+    for key, now_data in current["workloads"].items():
+        base_data = baseline["workloads"].get(key)
+        if base_data is None:
+            print(f"  {key}: not in baseline, skipped")
+            continue
+        base = base_data["speedup"]
+        now = now_data["speedup"]
+        floor = (1.0 - tolerance) * base
+        status = "ok" if now >= floor else "REGRESSED"
+        print(f"  {key}: speedup {now:.2f}x vs baseline {base:.2f}x "
+              f"(floor {floor:.2f}x) {status}")
+        if now < floor:
+            failures.append(key)
+    flat = current["workloads"].get("lenet5_flat")
+    if flat is not None and flat["speedup"] < FLAT_SPEEDUP_FLOOR:
+        print(f"  lenet5_flat: speedup {flat['speedup']:.2f}x below the "
+              f"hard {FLAT_SPEEDUP_FLOOR:.1f}x floor FAILED")
+        failures.append("lenet5_flat-floor")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repetitions; skips the VGG workload")
+    parser.add_argument("--out", default="BENCH_sta.json",
+                        help="where to write the results JSON")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="fail if speedups regress >20%% vs this baseline")
+    args = parser.parse_args(argv)
+
+    plan = [
+        ("lenet5_flat", build_lenet_flat, 3 if args.quick else 10, 64),
+        ("lenet5_preimpl", build_lenet_preimpl, 2 if args.quick else 5, 64),
+    ]
+    if not args.quick:
+        plan.append(("vgg16_flat", build_vgg_flat, 2, 12))
+
+    results = {"schema": 1, "quick": args.quick, "workloads": {}}
+    for name, builder, reps, max_regs in plan:
+        print(f"benchmarking {name} ({reps} reps)...")
+        results["workloads"][name] = bench_workload(name, builder, reps, max_regs)
+
+    print(json.dumps(results, indent=2))
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        print(f"checking against {args.check} (tolerance 20%)")
+        failures = check_against(results, args.check)
+        if failures:
+            print(f"FAIL: speedup regression in: {', '.join(failures)}")
+            return 1
+        print("baseline check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

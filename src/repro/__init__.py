@@ -32,7 +32,7 @@ from .cnn import (
 from .synth import gen_conv, gen_fc, gen_pe_array, gen_pool, gen_relu, synthesize_network
 from .place import place_design
 from .route import Router
-from .timing import analyze, fmax_mhz, pipeline_to_target
+from .timing import IncrementalSta, analyze, analyze_reference, fmax_mhz, pipeline_to_target
 from .power import estimate_power
 from .vivado import FlowResult, VivadoFlow
 from .rapidwright import ComponentDatabase, PreImplementedFlow, preimplement, relocate
@@ -75,7 +75,9 @@ __all__ = [
     "synthesize_network",
     "place_design",
     "Router",
+    "IncrementalSta",
     "analyze",
+    "analyze_reference",
     "fmax_mhz",
     "pipeline_to_target",
     "estimate_power",

@@ -128,6 +128,9 @@ class DrcContext:
     database: "object | None" = None
     require_routed: bool = False
     max_fanout: int = DEFAULT_MAX_FANOUT
+    #: Optional :class:`repro.timing.IncrementalSta` tracking ``design``;
+    #: timing-derived rules (NET-005) answer from its memo when present.
+    sta: "object | None" = None
     _graph: "object | None" = field(default=None, repr=False)
 
     @property
@@ -242,6 +245,7 @@ def run_drc(
     max_fanout: int = DEFAULT_MAX_FANOUT,
     gate: str = "",
     today: date | None = None,
+    sta=None,
 ) -> DrcReport:
     """Sweep *design* against the rule registry and collect every violation.
 
@@ -265,6 +269,11 @@ def run_drc(
         gates use ``component:<name>``, ``pre_route``, ``post_route``).
     today:
         Injectable clock for waiver expiry (tests).
+    sta:
+        Optional :class:`repro.timing.IncrementalSta` session tracking
+        *design*; timing-derived rules reuse its memoized state (flow
+        gates pass the run's shared session so repeated sweeps don't
+        recompute loop analysis on an unchanged netlist).
     """
     # Ensure the built-in rules are registered even when the caller
     # imported this module directly rather than the package.
@@ -290,6 +299,7 @@ def run_drc(
         database=database,
         require_routed=require_routed,
         max_fanout=max_fanout,
+        sta=sta,
         _graph=graph,
     )
     report = DrcReport(design=design.name, gate=gate)

@@ -88,7 +88,11 @@ def net_comb_loop(ctx, emit) -> None:
     """A cycle through combinational cells only (STA cannot order it)."""
     from ..timing.sta import combinational_loops
 
-    for loop in combinational_loops(ctx.design):
+    if ctx.sta is not None:
+        loops = ctx.sta.combinational_loops()
+    else:
+        loops = combinational_loops(ctx.design)
+    for loop in loops:
         head = ", ".join(loop[:5])
         more = f" (+{len(loop) - 5} more)" if len(loop) > 5 else ""
         emit("cell", loop[0],

@@ -28,8 +28,8 @@ from ..fabric.interconnect import RoutingGraph
 from ..power.model import estimate_power
 from ..route.pathfinder import Router
 from ..timing.delays import DEFAULT_DELAYS, DelayModel
+from ..timing.incremental import IncrementalSta
 from ..timing.pipeline import pipeline_to_target
-from ..timing.sta import analyze
 from ..vivado.flow import FlowResult
 from .database import ComponentDatabase
 from .placer import ComponentPlacer
@@ -146,12 +146,14 @@ class PreImplementedFlow:
         *,
         require_routed: bool = False,
         database: ComponentDatabase | None = None,
+        sta: IncrementalSta | None = None,
     ) -> "object | None":
         """Run one DRC gate per :attr:`drc` mode.
 
         Returns the report (``warn``/``strict``), or ``None`` when DRC is
         off.  ``strict`` raises :class:`repro.drc.DrcError` on
-        error-or-worse violations.
+        error-or-worse violations.  *sta* lets timing-derived rules
+        answer from the run's shared session memo instead of recomputing.
         """
         if self.drc == "off":
             return None
@@ -164,6 +166,7 @@ class PreImplementedFlow:
             database=database,
             require_routed=require_routed,
             gate=gate,
+            sta=sta,
         )
         if self.drc == "strict" and not report.is_clean():
             raise DrcError(gate, report)
@@ -301,7 +304,12 @@ class PreImplementedFlow:
                 )
             top = stitch.top
 
-        gate_report = self._drc_gate("pre_route", top, require_routed=False)
+        # One STA session serves the whole run — DRC gates, the pipelining
+        # pass, and the final report all share its compiled graph and
+        # memo, so each design state is analyzed at most once.
+        sta = IncrementalSta(top, self.device, self.graph, self.delays)
+
+        gate_report = self._drc_gate("pre_route", top, require_routed=False, sta=sta)
         if gate_report is not None:
             drc_reports.append(gate_report)
 
@@ -334,14 +342,15 @@ class PreImplementedFlow:
             with timer.stage("phys_opt:pipeline"):
                 target_ps = 1e6 / pipeline_target_mhz - self.delays.clock_overhead_ps
                 pipe = pipeline_to_target(
-                    top, self.device, target_ps, graph=self.graph, delays=self.delays
+                    top, self.device, target_ps, graph=self.graph,
+                    delays=self.delays, session=sta,
                 )
                 extras["pipeline"] = pipe
             with timer.stage("vivado:reroute"):
                 route = Router(self.device, self.graph, seed=self.seed).route(top)
 
         gate_report = self._drc_gate(
-            "post_route", top, require_routed=True, database=database
+            "post_route", top, require_routed=True, database=database, sta=sta
         )
         if gate_report is not None:
             drc_reports.append(gate_report)
@@ -349,7 +358,7 @@ class PreImplementedFlow:
             extras["drc"] = drc_reports
 
         with timer.stage("timing"):
-            timing = analyze(top, self.device, self.graph, self.delays)
+            timing = sta.analyze()
         with timer.stage("power"):
             power = estimate_power(top, self.device, timing.fmax_mhz, self.graph)
 

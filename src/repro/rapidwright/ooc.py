@@ -27,7 +27,8 @@ from ..netlist.design import Design
 from ..place.placer import PlacementResult, place_design
 from ..route.pathfinder import RouteResult, Router
 from ..timing.delays import DEFAULT_DELAYS, DelayModel
-from ..timing.sta import TimingReport, analyze
+from ..timing.incremental import IncrementalSta
+from ..timing.sta import TimingReport
 
 __all__ = ["OOCResult", "preimplement"]
 
@@ -98,7 +99,7 @@ def preimplement(
     with timer.stage("ooc/timing"):
         # HD.CLK_SRC: stub clock entry at the pblock boundary mid-height.
         design.metadata["clk_src"] = (pblock.col0, (pblock.row0 + pblock.row1) // 2)
-        timing = analyze(design, device, graph, delays)
+        timing = IncrementalSta(design, device, graph, delays).analyze()
 
     design.metadata["ooc"] = {
         "fmax_mhz": timing.fmax_mhz,

@@ -18,7 +18,8 @@ from ..fabric.device import Device, TILE_FOR_CELL
 from ..fabric.interconnect import RoutingGraph
 from ..netlist.design import Design
 from .delays import DEFAULT_DELAYS, DelayModel
-from .sta import TimingReport, analyze
+from .incremental import IncrementalSta
+from .sta import TimingReport
 
 __all__ = ["PipelineResult", "pipeline_to_target"]
 
@@ -65,14 +66,27 @@ def pipeline_to_target(
     graph: RoutingGraph | None = None,
     delays: DelayModel = DEFAULT_DELAYS,
     max_regs: int = 64,
+    session: IncrementalSta | None = None,
 ) -> PipelineResult:
     """Insert pipeline FFs on critical nets until the period target holds.
 
     Only unlocked nets are split (pre-implemented component internals stay
     intact); splitting a routed net discards its route, leaving it for the
     incremental router.  Newly inserted registers join the clock net.
+
+    Timing is re-analyzed after every insertion through *session* (an
+    :class:`~repro.timing.IncrementalSta` already tracking *design*); when
+    ``None`` a private session is created, so the loop always pays one
+    graph compile plus per-edit cone repropagation rather than ``max_regs``
+    full sweeps.
     """
-    before = analyze(design, device, graph, delays)
+    if session is None:
+        session = IncrementalSta(design, device, graph, delays)
+    elif session.design is not design:
+        raise ValueError(
+            f"session tracks design {session.design.name!r}, not {design.name!r}"
+        )
+    before = session.analyze()
     report = before
     occupied = {c.placement for c in design.cells.values() if c.is_placed}
     clock_nets = [n for n in design.nets.values() if n.is_clock]
@@ -100,27 +114,31 @@ def pipeline_to_target(
                         placement=site, comb_depth=1, seq=True)
         if site is not None:
             occupied.add(site)
-        # Split: driver -> reg, reg -> original sinks.
+        # Split: driver -> reg, reg -> original sinks.  The original net
+        # object is detached untouched so a revert can restore it exactly
+        # (routes, width, flags included); the clock nets are snapshotted
+        # because add_sink appends to both sinks and routes.
+        saved_net = net
         sinks = list(net.sinks)
-        saved = (net.name, net.driver, sinks, net.width)
+        clock_state = [(c, list(c.sinks), list(c.routes)) for c in clock_nets]
         del design.nets[net.name]
         design.connect(net.name + "__a", net.driver, [reg_name], width=net.width)
         design.connect(net.name + "__b", reg_name, sinks, width=net.width)
         for cnet in clock_nets:
             cnet.add_sink(reg_name)
-        new_report = analyze(design, device, graph, delays)
+        new_report = session.analyze()
         if new_report.period_ps >= report.period_ps - 1e-9:
             # No progress (e.g. an I/O-crossing penalty no register removes):
             # revert the split and stop rather than thrash.
-            del design.nets[saved[0] + "__a"]
-            del design.nets[saved[0] + "__b"]
+            del design.nets[saved_net.name + "__a"]
+            del design.nets[saved_net.name + "__b"]
             del design.cells[reg_name]
             if site is not None:
                 occupied.discard(site)
-            for cnet in clock_nets:
-                cnet.sinks.remove(reg_name)
-                cnet.routes.pop()
-            design.connect(saved[0], saved[1], saved[2], width=saved[3])
+            for cnet, csinks, croutes in clock_state:
+                cnet.sinks[:] = csinks
+                cnet.routes[:] = croutes
+            design.add_net(saved_net)
             break
         inserted += 1
         report = new_report

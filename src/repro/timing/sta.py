@@ -7,6 +7,18 @@ through their logic, and every sequential input imposes
 network).  The achieved Fmax is ``1 / (worst path + clock overhead)``.
 
 Combinational loops are a design error and raise :class:`TimingError`.
+
+Two engines produce the same :class:`TimingReport`, bit for bit:
+
+* :func:`analyze_reference` — the direct dict-based implementation that
+  rebuilds everything from scratch on every call.  It is the semantic
+  oracle (the Hypothesis suite in ``tests/test_property_timing.py``
+  checks the incremental engine against it, mirroring
+  ``place._annealer_reference``).
+* :class:`repro.timing.IncrementalSta` — a session holding a compiled
+  :class:`~repro.timing.graph.TimingGraph` that is patched, not rebuilt,
+  as the design mutates.  :func:`analyze` delegates to a transient
+  session, so one-shot callers transparently use the fast engine.
 """
 
 from __future__ import annotations
@@ -20,7 +32,14 @@ from ..netlist.design import Design
 from ..obs.span import incr, span
 from .delays import DEFAULT_DELAYS, DelayModel
 
-__all__ = ["TimingReport", "TimingError", "analyze", "fmax_mhz", "combinational_loops"]
+__all__ = [
+    "TimingReport",
+    "TimingError",
+    "analyze",
+    "analyze_reference",
+    "fmax_mhz",
+    "combinational_loops",
+]
 
 
 class TimingError(ValueError):
@@ -34,6 +53,11 @@ class TimingReport:
     ``critical_path`` lists ``(cell, via_net)`` hops from the launching
     register to the capturing register (the first entry's ``via_net`` is
     ``None``).
+
+    ``n_paths`` counts timing *paths*, one per data edge landing on a
+    sequential cell input — a register fed by three nets (or three sinks
+    of one net) contributes three, not one.  It is **not** the number of
+    distinct endpoint cells.
     """
 
     design: str
@@ -55,7 +79,7 @@ class TimingReport:
         more = "..." if len(self.critical_path) > 6 else ""
         return (
             f"{self.design}: Fmax {self.fmax_mhz:.1f} MHz "
-            f"(data path {self.period_ps:.0f} ps, {self.n_paths} endpoints)\n"
+            f"(data path {self.period_ps:.0f} ps, {self.n_paths} paths)\n"
             f"  critical: {path}{more}"
         )
 
@@ -66,8 +90,32 @@ def analyze(
     graph: RoutingGraph | None = None,
     delays: DelayModel = DEFAULT_DELAYS,
 ) -> TimingReport:
-    """Run STA on *design* and return the worst register-to-register path."""
-    with span("timing.sta", design=design.name) as sta_span:
+    """Run STA on *design* and return the worst register-to-register path.
+
+    One-shot entry point: delegates to a transient
+    :class:`~repro.timing.IncrementalSta` session, so it pays the graph
+    compile once and discards it.  Callers analyzing the same design
+    repeatedly (flows, pipelining loops) should hold a session instead.
+    """
+    from .incremental import IncrementalSta
+
+    return IncrementalSta(design, device, graph, delays).analyze()
+
+
+def analyze_reference(
+    design: Design,
+    device: Device | None = None,
+    graph: RoutingGraph | None = None,
+    delays: DelayModel = DEFAULT_DELAYS,
+) -> TimingReport:
+    """Reference STA: rebuild-from-scratch oracle for the incremental engine.
+
+    Semantically frozen — :class:`~repro.timing.IncrementalSta` must
+    return bit-identical reports (period, critical path, ``n_paths``)
+    and raise the same errors; the Hypothesis equivalence suite and
+    ``benchmarks/bench_sta.py`` both assert against this function.
+    """
+    with span("timing.sta.reference", design=design.name) as sta_span:
         report = _analyze(design, device, graph, delays, sta_span)
     # Critical-path attribution: charge each hop to its module (the cell
     # name prefix), so a trace shows *which component* bounds Fmax.
@@ -169,7 +217,7 @@ def _analyze(
     if worst_end is None:
         # Purely combinational or empty design: report logic depth only.
         worst = max(out_time.values(), default=0.0)
-        sta_span.set(period_ps=round(worst, 3), endpoints=0)
+        sta_span.set(period_ps=round(worst, 3), n_paths=0)
         return TimingReport(design.name, worst, delays.clock_overhead_ps, [], 0)
 
     # Reconstruct the critical path.
@@ -185,7 +233,7 @@ def _analyze(
         guard += 1
     path.reverse()
 
-    sta_span.set(period_ps=round(worst, 3), endpoints=n_paths, depth=len(path))
+    sta_span.set(period_ps=round(worst, 3), n_paths=n_paths, depth=len(path))
     return TimingReport(design.name, worst, delays.clock_overhead_ps, path, n_paths)
 
 
@@ -284,6 +332,20 @@ def fmax_mhz(
     device: Device | None = None,
     graph: RoutingGraph | None = None,
     delays: DelayModel = DEFAULT_DELAYS,
+    *,
+    session=None,
 ) -> float:
-    """Convenience wrapper returning only the achieved Fmax in MHz."""
+    """Convenience wrapper returning only the achieved Fmax in MHz.
+
+    Pass an :class:`~repro.timing.IncrementalSta` *session* already
+    tracking *design* to answer through its memo (an unchanged design
+    costs a scan, not a full analysis) instead of a one-shot run.
+    """
+    if session is not None:
+        if session.design is not design:
+            raise ValueError(
+                f"session tracks design {session.design.name!r}, "
+                f"not {design.name!r}"
+            )
+        return session.analyze().fmax_mhz
     return analyze(design, device, graph, delays).fmax_mhz

@@ -23,7 +23,8 @@ from ..power.model import PowerReport, estimate_power
 from ..route.pathfinder import RouteResult, Router
 from ..synth.network import NetworkSynthesis, synthesize_network
 from ..timing.delays import DEFAULT_DELAYS, DelayModel
-from ..timing.sta import TimingReport, analyze
+from ..timing.incremental import IncrementalSta
+from ..timing.sta import TimingReport
 from .opt import OptStats, opt_design
 
 __all__ = ["FlowResult", "VivadoFlow"]
@@ -127,7 +128,9 @@ class VivadoFlow:
                 design, timer=timer
             )
         with timer.stage("timing"):
-            timing = analyze(design, self.device, self.graph, self.delays)
+            timing = IncrementalSta(
+                design, self.device, self.graph, self.delays
+            ).analyze()
         with timer.stage("power"):
             power = estimate_power(design, self.device, timing.fmax_mhz, self.graph)
         design.metadata["fmax_mhz"] = timing.fmax_mhz

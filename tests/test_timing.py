@@ -7,8 +7,10 @@ from repro.netlist import Cell, Design, cell_type
 from repro.timing import (
     DEFAULT_DELAYS,
     DelayModel,
+    IncrementalSta,
     TimingError,
     analyze,
+    analyze_reference,
     fmax_mhz,
     pipeline_to_target,
 )
@@ -144,3 +146,114 @@ def test_pipeline_joins_clock(tiny_device):
     result = pipeline_to_target(d, tiny_device, analyze(d, tiny_device).period_ps * 0.7)
     assert result.inserted >= 1
     assert any(s.startswith("pipe_reg_") for s in clk.sinks)
+
+
+def test_pipeline_revert_restores_exact_state(tiny_device, tiny_graph):
+    """A split that doesn't help is reverted losslessly: the original net
+    object returns with its routes, and a pre-routed clock net keeps its
+    sinks *and* routes (regression: the revert used to rebuild the split
+    net from scratch, dropping routes/width, and left the register on the
+    clock net's route list)."""
+    from repro.route import Router
+
+    # One-tile hop: any inserted register adds a full net_base_ps without
+    # shortening anything, so the split can never help and must revert.
+    d = Design("r2r")
+    clb = int(tiny_device.columns_of(TileType.CLB)[0])
+    d.new_cell("a", "SLICE", placement=(clb, 0), luts=1, ffs=1)
+    d.new_cell("b", "SLICE", placement=(clb, 1), luts=1, ffs=1)
+    d.connect("n", "a", ["b"], width=8)
+    clk = d.connect("clk", None, ["a", "b"], is_clock=True)
+    Router(tiny_device, tiny_graph).route(d)
+    clk.routes[:] = [[1, 2], [3, 4]]  # pre-routed clock (dedicated network)
+
+    net = d.nets["n"]
+    routes_before = [list(r) if r is not None else None for r in net.routes]
+    route0 = net.routes[0]
+    clk_sinks = list(clk.sinks)
+    clk_routes = [list(r) for r in clk.routes]
+    before = analyze(d, tiny_device, tiny_graph)
+
+    result = pipeline_to_target(d, tiny_device, 1.0, graph=tiny_graph)
+
+    assert result.inserted == 0
+    assert d.nets["n"] is net, "revert must restore the original Net object"
+    assert net.routes[0] is route0  # routes survive untouched, not copies
+    assert [list(r) if r is not None else None for r in net.routes] == routes_before
+    assert clk.sinks == clk_sinks
+    assert clk.routes == clk_routes
+    assert not any(c.startswith("pipe_reg_") for c in d.cells)
+    assert "n__a" not in d.nets and "n__b" not in d.nets
+    after = analyze(d, tiny_device, tiny_graph)
+    assert (after.period_ps, after.critical_path, after.n_paths) == (
+        before.period_ps, before.critical_path, before.n_paths
+    )
+    d.validate(tiny_device)
+
+
+# -- incremental sessions ------------------------------------------------------
+
+
+def test_report_counts_paths_not_endpoints(tiny_device):
+    """n_paths counts seq-input data edges: two nets landing on one
+    register are two paths, and summary() says "paths"."""
+    d = Design("paths")
+    clb = int(tiny_device.columns_of(TileType.CLB)[0])
+    d.new_cell("a", "SLICE", placement=(clb, 0), ffs=1)
+    d.new_cell("b", "SLICE", placement=(clb, 1), ffs=1)
+    d.new_cell("dst", "SLICE", placement=(clb, 2), ffs=1)
+    d.connect("n1", "a", ["dst"])
+    d.connect("n2", "b", ["dst"])
+    report = analyze(d, tiny_device)
+    assert report.n_paths == 2  # one endpoint cell, two timing paths
+    assert "2 paths" in report.summary()
+
+
+def test_session_caches_unchanged_design(tiny_device):
+    d = _reg2reg(tiny_device, span=5)
+    session = IncrementalSta(d, tiny_device)
+    first = session.analyze()
+    again = session.analyze()
+    assert again is first  # memoized report, not a recompute
+    assert session.stats.analyses == 2
+    assert session.stats.cached == 1
+    d.cells["b"].placement = (d.cells["b"].placement[0], 3)
+    third = session.analyze()
+    assert third is not first
+    assert session.stats.cached == 1
+
+
+def test_session_tracks_edits_bit_identically(tiny_device, tiny_graph):
+    from repro.route import Router
+
+    d = _reg2reg(tiny_device, span=7)
+    session = IncrementalSta(d, tiny_device, tiny_graph)
+    session.analyze()
+    Router(tiny_device, tiny_graph).route(d)  # fresh route lists
+    d.new_cell("c", "SLICE", placement=(d.cells["a"].placement[0], 2), ffs=1)
+    d.connect("n2", "b", ["c"])
+    got = session.analyze()
+    ref = analyze_reference(d, tiny_device, tiny_graph)
+    assert (got.period_ps, got.critical_path, got.n_paths) == (
+        ref.period_ps, ref.critical_path, ref.n_paths
+    )
+    # Moving only "c" leaves the routed a->b edge answerable from the memo.
+    d.cells["c"].placement = (d.cells["c"].placement[0], 4)
+    got = session.analyze()
+    ref = analyze_reference(d, tiny_device, tiny_graph)
+    assert (got.period_ps, got.critical_path, got.n_paths) == (
+        ref.period_ps, ref.critical_path, ref.n_paths
+    )
+    assert session.stats.memo_hits > 0  # untouched edges answered from memo
+
+
+def test_fmax_session_shortcut(tiny_device):
+    d = _reg2reg(tiny_device, span=5)
+    session = IncrementalSta(d, tiny_device)
+    direct = fmax_mhz(d, tiny_device)
+    assert fmax_mhz(d, tiny_device, session=session) == direct
+    other = _reg2reg(tiny_device, span=3)
+    with pytest.raises(ValueError, match="tracks design"):
+        fmax_mhz(other, tiny_device, session=session)
+    with pytest.raises(ValueError, match="tracks design"):
+        pipeline_to_target(other, tiny_device, 1.0, session=session)
