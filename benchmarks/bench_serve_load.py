@@ -1,0 +1,229 @@
+"""Compile-service load benchmark: concurrent builds through the farm.
+
+Drives a real in-process :class:`repro.serve.ServeServer` (HTTP and all)
+the way a busy farm sees it:
+
+* **cold burst** — N distinct LeNet-5 specs (different seeds, so every
+  content key is new) submitted at once from four tenants; measures
+  end-to-end job latency (submit -> done, queue wait included), p50/p99,
+  throughput, and the peak number of jobs in flight;
+* **warm burst** — the identical specs resubmitted by a fifth tenant:
+  every job must be answered from the farm's shared result cache, and
+  the p50 latency ratio cold/warm is the **warm speedup** the serve
+  subsystem promises (>= 5x, in practice far higher).
+
+``--check BASELINE`` enforces the acceptance gates — zero failed jobs,
+>= 8 builds in flight concurrently, warm speedup >= 5x — and sanity-
+checks the run against the committed baseline's shape.  ``--quick``
+shrinks the burst to the gate minimum (8 jobs) for CI.
+
+Usage::
+
+    python benchmarks/bench_serve_load.py [--quick] [--out BENCH_serve.json]
+    python benchmarks/bench_serve_load.py --quick --check benchmarks/BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+from repro.serve import ServeClient, ServeServer, TenantQuota
+
+MODEL = "lenet5"
+PART = "small"
+EFFORT = "low"
+WARM_SPEEDUP_FLOOR = 5.0
+MIN_CONCURRENT = 8
+
+
+def _percentile(values: list[float], pct: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    idx = min(len(ordered) - 1, max(0, round(pct / 100.0 * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def _submit_burst(client: ServeClient, specs: list[dict]) -> list[str]:
+    """Submit every spec from its own thread, near-simultaneously."""
+    ids: list[str | None] = [None] * len(specs)
+    errors: list[BaseException] = []
+
+    def submit(i: int) -> None:
+        try:
+            ids[i] = client.submit(specs[i])["id"]
+        except BaseException as exc:  # surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=submit, args=(i,)) for i in range(len(specs))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise RuntimeError(f"submissions failed: {errors[:3]}")
+    return [i for i in ids if i is not None]
+
+
+def _watch_in_flight(server: ServeServer, stop: threading.Event, peak: dict) -> None:
+    while not stop.is_set():
+        stats = server.scheduler.stats()
+        in_flight = stats["jobs"].get("queued", 0) + stats["jobs"].get("running", 0)
+        peak["in_flight"] = max(peak["in_flight"], in_flight)
+        peak["running"] = max(peak["running"], sum(stats["running"].values() or [0]))
+        time.sleep(0.01)
+
+
+def _burst_stats(client: ServeClient, job_ids: list[str]) -> dict:
+    records = {r["id"]: r for r in client.jobs()}
+    picked = [records[i] for i in job_ids]
+    latencies = [r["finished_t"] - r["submitted_t"] for r in picked]
+    walls = [r["wall_s"] for r in picked]
+    span = max(r["finished_t"] for r in picked) - min(r["submitted_t"] for r in picked)
+    return {
+        "jobs": len(picked),
+        "failed": sum(1 for r in picked if r["state"] != "done"),
+        "cache_hits": sum(1 for r in picked if r["cache"] == "hit"),
+        "latency_p50_s": round(_percentile(latencies, 50), 4),
+        "latency_p99_s": round(_percentile(latencies, 99), 4),
+        "latency_mean_s": round(statistics.mean(latencies), 4),
+        "wall_p50_s": round(_percentile(walls, 50), 4),
+        "throughput_jobs_s": round(len(picked) / span, 3) if span > 0 else 0.0,
+        "burst_wall_s": round(span, 4),
+    }
+
+
+def run_load(n_jobs: int, workers: int) -> dict:
+    cold_specs = [
+        {"model": MODEL, "part": PART, "effort": EFFORT, "seed": seed,
+         "tenant": f"t{seed % 4}"}
+        for seed in range(n_jobs)
+    ]
+    warm_specs = [{**spec, "tenant": "warm"} for spec in cold_specs]
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        server = ServeServer(
+            tmp, workers=workers,
+            quota=TenantQuota(max_running=workers, max_queued=4 * n_jobs),
+        ).start()
+        try:
+            client = ServeClient(server.url, timeout=60.0)
+            peak = {"in_flight": 0, "running": 0}
+            stop = threading.Event()
+            watcher = threading.Thread(
+                target=_watch_in_flight, args=(server, stop, peak), daemon=True
+            )
+            watcher.start()
+
+            cold_ids = _submit_burst(client, cold_specs)
+            for job_id in cold_ids:
+                client.wait_result(job_id, timeout=600.0)
+            cold = _burst_stats(client, cold_ids)
+
+            warm_ids = _submit_burst(client, warm_specs)
+            for job_id in warm_ids:
+                client.wait_result(job_id, timeout=600.0)
+            warm = _burst_stats(client, warm_ids)
+
+            stop.set()
+            watcher.join(2.0)
+            farm = client.farm()
+        finally:
+            server.stop()
+
+    speedup = cold["latency_p50_s"] / max(warm["latency_p50_s"], 1e-9)
+    return {
+        "n_jobs": n_jobs,
+        "workers": workers,
+        "peak_in_flight": peak["in_flight"],
+        "peak_running": peak["running"],
+        "cold": cold,
+        "warm": warm,
+        "warm_speedup": round(speedup, 2),
+        "cache": farm["cache"],
+    }
+
+
+def check(doc: dict, baseline_path: str) -> list[str]:
+    problems = []
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    if baseline.get("schema") != doc["schema"]:
+        problems.append(
+            f"baseline schema {baseline.get('schema')} != current {doc['schema']}"
+        )
+    load = doc["load"]
+    if load["cold"]["failed"] or load["warm"]["failed"]:
+        problems.append(
+            f"failed jobs: cold={load['cold']['failed']} warm={load['warm']['failed']}"
+        )
+    if load["cold"]["cache_hits"]:
+        problems.append(f"cold burst unexpectedly hit cache {load['cold']['cache_hits']}x")
+    if load["warm"]["cache_hits"] != load["warm"]["jobs"]:
+        problems.append(
+            f"warm burst missed cache: {load['warm']['cache_hits']}/{load['warm']['jobs']} hits"
+        )
+    if load["peak_in_flight"] < MIN_CONCURRENT:
+        problems.append(
+            f"peak in-flight {load['peak_in_flight']} < required {MIN_CONCURRENT}"
+        )
+    if load["warm_speedup"] < WARM_SPEEDUP_FLOOR:
+        problems.append(
+            f"warm speedup {load['warm_speedup']}x < floor {WARM_SPEEDUP_FLOOR}x"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="gate-minimum burst (8 jobs) for CI")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="override burst size")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", default=None, help="write JSON results here")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="enforce acceptance gates against a baseline")
+    args = parser.parse_args(argv)
+
+    n_jobs = args.jobs if args.jobs is not None else (8 if args.quick else 16)
+    if n_jobs < MIN_CONCURRENT:
+        parser.error(f"--jobs must be >= {MIN_CONCURRENT}")
+
+    load = run_load(n_jobs, args.workers)
+    doc = {"schema": 1, "quick": bool(args.quick), "load": load}
+
+    cold, warm = load["cold"], load["warm"]
+    print(f"cold burst: {cold['jobs']} jobs, {cold['failed']} failed, "
+          f"p50 {cold['latency_p50_s']:.3f}s p99 {cold['latency_p99_s']:.3f}s, "
+          f"{cold['throughput_jobs_s']:.2f} jobs/s")
+    print(f"warm burst: {warm['jobs']} jobs, {warm['cache_hits']} cache hits, "
+          f"p50 {warm['latency_p50_s']:.3f}s")
+    print(f"peak in-flight {load['peak_in_flight']}, "
+          f"peak running {load['peak_running']}, "
+          f"warm speedup {load['warm_speedup']}x")
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+    if args.check:
+        problems = check(doc, args.check)
+        if problems:
+            for problem in problems:
+                print(f"CHECK FAILED: {problem}", file=sys.stderr)
+            return 1
+        print(f"check passed against {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

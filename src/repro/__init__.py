@@ -38,6 +38,7 @@ from .vivado import FlowResult, VivadoFlow
 from .rapidwright import ComponentDatabase, PreImplementedFlow, preimplement, relocate
 from .drc import DrcError, DrcReport, Severity, WaiverSet, run_drc
 from .memory import BestFitAllocator, plan_feature_maps
+from .serve import JobSpec, ServeClient, ServeServer, TenantQuota
 from .analysis import compare_productivity, network_latency
 
 __version__ = "1.0.0"

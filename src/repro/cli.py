@@ -21,6 +21,16 @@
   for one of the stock LeNet components.
 * ``trace-report out.jsonl`` — per-span/per-metric summary of a trace
   written by ``run``/``build`` ``--trace``.
+* ``serve --data-dir DIR --port 8177 --workers 4`` — run the compile
+  service: an HTTP/JSON job server multiplexing many concurrent builds
+  over one shared worker pool and content-addressed cache, with a
+  durable job journal (killed servers recover their queue on restart).
+* ``submit --model lenet5 [--follow] [--wait]`` / ``jobs`` / ``result
+  JOB_ID`` — client commands against a running server; the server URL
+  comes from ``--url`` or ``<data-dir>/serve.json``.
+
+``models`` and ``info`` accept ``--json`` for machine-readable output
+(the serve client and load generator enumerate networks/parts this way).
 
 ``run`` and ``build`` accept ``--trace PATH`` (plus ``--trace-format
 {jsonl,chrome}``) to record the flow's span/metric trace: ``jsonl`` is
@@ -90,8 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_info = sub.add_parser("info", help="describe a device part")
     p_info.add_argument("--part", default="ku5p-like", choices=sorted(PART_CATALOG))
+    p_info.add_argument("--json", action="store_true",
+                        help="machine-readable JSON instead of tables")
 
-    sub.add_parser("models", help="list stock networks and workloads")
+    p_models = sub.add_parser("models", help="list stock networks and workloads")
+    p_models.add_argument("--json", action="store_true",
+                          help="machine-readable JSON instead of tables")
 
     p_run = sub.add_parser("run", help="build an accelerator")
     p_run.add_argument("--model", default="lenet5", choices=sorted(MODEL_CATALOG))
@@ -185,11 +199,86 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--sort", default="total",
                       choices=("total", "self", "count", "name"),
                       help="span table ordering")
+
+    p_srv = sub.add_parser(
+        "serve", help="run the compile service (HTTP/JSON job server)"
+    )
+    p_srv.add_argument("--data-dir", default="serve-data",
+                       help="durable state: job journal, results, shared cache")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8177,
+                       help="listen port (0 picks a free one; the chosen "
+                            "port is written to <data-dir>/serve.json)")
+    p_srv.add_argument("--workers", type=int, default=2,
+                       help="concurrent build workers sharing one cache")
+    p_srv.add_argument("--max-running", type=int, default=2,
+                       help="per-tenant concurrent build cap")
+    p_srv.add_argument("--max-queued", type=int, default=32,
+                       help="per-tenant queued-job cap (429 when full)")
+    p_srv.add_argument("--rate", type=float, default=None,
+                       help="per-tenant submit rate limit (jobs/s)")
+    p_srv.add_argument("--cache-entries", type=int, default=None,
+                       help="in-memory LRU bound for the shared cache")
+
+    def _add_url(sp):
+        sp.add_argument("--url", default=None,
+                        help="server base URL (default: read "
+                             "<data-dir>/serve.json)")
+        sp.add_argument("--data-dir", default="serve-data",
+                        help="data dir to discover the server URL from")
+
+    p_sub = sub.add_parser("submit", help="submit a build job to a running server")
+    _add_url(p_sub)
+    p_sub.add_argument("--model", default=None, choices=sorted(MODEL_CATALOG),
+                       help="stock network to build")
+    p_sub.add_argument("--arch-file", default=None, metavar="PATH",
+                       help="inline architecture definition file instead of --model")
+    p_sub.add_argument("--part", default="ku5p-like", choices=sorted(PART_CATALOG))
+    p_sub.add_argument("--flow", default="preimpl", choices=("preimpl", "baseline"))
+    p_sub.add_argument("--granularity", default="layer", choices=("layer", "block"))
+    p_sub.add_argument("--stream-weights", action="store_true")
+    p_sub.add_argument("--pipeline", default=None,
+                       help="pipelining target MHz, or 'auto'")
+    p_sub.add_argument("--effort", default="high", choices=("low", "medium", "high"))
+    p_sub.add_argument("--drc", default="off", choices=("off", "warn", "strict"))
+    p_sub.add_argument("--seed", type=int, default=0)
+    p_sub.add_argument("--tenant", default="default")
+    p_sub.add_argument("--follow", action="store_true",
+                       help="stream per-stage progress events until done")
+    p_sub.add_argument("--wait", action="store_true",
+                       help="block until the job finishes and print the result")
+    p_sub.add_argument("--timeout", type=float, default=600.0)
+
+    p_jobs = sub.add_parser("jobs", help="list jobs on a running server")
+    _add_url(p_jobs)
+    p_jobs.add_argument("--tenant", default=None)
+    p_jobs.add_argument("--state", default=None,
+                        choices=("queued", "running", "done", "failed"))
+    p_jobs.add_argument("--json", action="store_true")
+
+    p_res = sub.add_parser("result", help="fetch a job's result document")
+    _add_url(p_res)
+    p_res.add_argument("job_id")
+    p_res.add_argument("--wait", action="store_true",
+                       help="block until the job finishes")
+    p_res.add_argument("--timeout", type=float, default=600.0)
     return parser
 
 
 def _cmd_info(args, out) -> int:
     device = Device.from_name(args.part)
+    if getattr(args, "json", False):
+        import json as json_mod
+
+        doc = {
+            "name": device.name,
+            "columns": device.ncols,
+            "rows": device.nrows,
+            "resources": {k: int(v) for k, v in sorted(device.resource_totals.items())},
+            "io_columns": [int(c) for c in device.io_columns],
+        }
+        print(json_mod.dumps(doc, indent=2, sort_keys=True), file=out)
+        return 0
     print(device.describe(), file=out)
     totals = device.resource_totals
     rows = [[k, v] for k, v in sorted(totals.items())]
@@ -200,6 +289,21 @@ def _cmd_info(args, out) -> int:
 
 
 def _cmd_models(args, out) -> int:
+    if getattr(args, "json", False):
+        import json as json_mod
+
+        models = []
+        for name in sorted(MODEL_CATALOG):
+            totals = get_model(name).totals()
+            models.append({
+                "name": name,
+                "conv_layers": int(totals["conv_layers"]),
+                "fc_layers": int(totals["fc_layers"]),
+                "total_weights": int(totals["total_weights"]),
+                "total_macs": int(totals["total_macs"]),
+            })
+        print(json_mod.dumps({"models": models}, indent=2, sort_keys=True), file=out)
+        return 0
     rows = []
     for name in sorted(MODEL_CATALOG):
         totals = get_model(name).totals()
@@ -360,6 +464,143 @@ def _cmd_trace_report(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    from .serve import ServeServer, TenantQuota
+
+    quota = TenantQuota(
+        max_running=args.max_running,
+        max_queued=args.max_queued,
+        rate=args.rate,
+    )
+    server = ServeServer(
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        quota=quota,
+        cache_entries=args.cache_entries,
+    )
+    server.start()
+    recovered = len([r for r in server.store.jobs() if r.recovered])
+    print(f"compile service listening on {server.url} "
+          f"(data: {args.data_dir}, workers: {args.workers}"
+          f"{f', recovered {recovered} jobs' if recovered else ''})", file=out)
+    out.flush()
+    try:
+        server.serve_forever()
+    finally:
+        print("server stopped", file=out)
+    return 0
+
+
+def _resolve_url(args) -> str:
+    """Server URL from ``--url`` or the data dir's discovery file."""
+    import json as json_mod
+
+    if args.url:
+        return args.url
+    discovery = Path(args.data_dir) / "serve.json"
+    if discovery.exists():
+        return json_mod.loads(discovery.read_text())["url"]
+    raise SystemExit(
+        f"no --url given and {discovery} not found; is the server running?"
+    )
+
+
+def _spec_from_args(args) -> dict:
+    spec = {
+        "tenant": args.tenant,
+        "part": args.part,
+        "flow": args.flow,
+        "granularity": args.granularity,
+        "stream_weights": args.stream_weights,
+        "effort": args.effort,
+        "seed": args.seed,
+        "drc": args.drc,
+    }
+    if args.pipeline is not None:
+        spec["pipeline"] = (
+            args.pipeline if args.pipeline == "auto" else float(args.pipeline)
+        )
+    if args.arch_file:
+        spec["architecture"] = Path(args.arch_file).read_text()
+    else:
+        spec["model"] = args.model or "lenet5"
+    return spec
+
+
+def _cmd_submit(args, out) -> int:
+    from .serve import ServeApiError, ServeClient
+
+    client = ServeClient(_resolve_url(args))
+    try:
+        job = client.submit(_spec_from_args(args))
+    except ServeApiError as exc:
+        print(f"submit rejected: {exc}", file=out)
+        return 2
+    print(f"submitted {job['id']} ({job['network']} on {job['part']}, "
+          f"tenant {job['tenant']})", file=out)
+    if args.follow:
+        for event in client.stream_events(job["id"], timeout=args.timeout):
+            if event["kind"] == "stage":
+                detail = event.get("task") or event.get("model") or ""
+                cache = f" [{event['cache']}]" if "cache" in event else ""
+                print(f"  {event['stage']:<10s} {detail}{cache} "
+                      f"({event['dur_s']:.3f} s)", file=out)
+            else:
+                print(f"  -> {event['state']}", file=out)
+    if args.wait or args.follow:
+        envelope = client.wait_result(job["id"], timeout=args.timeout)
+        if envelope["state"] == "failed":
+            print(f"job {job['id']} FAILED: {envelope['error']}", file=out)
+            return 1
+        result = envelope["result"]
+        print(f"job {job['id']} done ({envelope['cache']}): "
+              f"{result['fmax_mhz']:.1f} MHz, compile {result['runtime_s']:.2f} s, "
+              f"wall {envelope['wall_s']:.2f} s", file=out)
+    return 0
+
+
+def _cmd_jobs(args, out) -> int:
+    from .serve import ServeClient
+
+    client = ServeClient(_resolve_url(args))
+    records = client.jobs(tenant=args.tenant, state=args.state)
+    if args.json:
+        import json as json_mod
+
+        print(json_mod.dumps({"jobs": records}, indent=2, sort_keys=True), file=out)
+        return 0
+    rows = [
+        [r["id"], r["tenant"], r["network"], r["part"], r["state"],
+         r["cache"] or "-",
+         f"{r['wall_s']:.2f}" if r["wall_s"] is not None else "-"]
+        for r in records
+    ]
+    print(format_table(
+        ["job", "tenant", "network", "part", "state", "cache", "wall s"], rows
+    ), file=out)
+    return 0
+
+
+def _cmd_result(args, out) -> int:
+    import json as json_mod
+
+    from .serve import ServeApiError, ServeClient
+
+    client = ServeClient(_resolve_url(args))
+    try:
+        if args.wait:
+            envelope = client.wait_result(args.job_id, timeout=args.timeout)
+        else:
+            envelope = client.result(args.job_id)
+    except ServeApiError as exc:
+        print(str(exc), file=out)
+        return 2
+    print(json_mod.dumps(envelope, indent=2, sort_keys=True), file=out)
+    return 0 if envelope.get("state") == "done" else 1
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "models": _cmd_models,
@@ -369,6 +610,10 @@ _COMMANDS = {
     "floorplan": _cmd_floorplan,
     "explore": _cmd_explore,
     "trace-report": _cmd_trace_report,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+    "result": _cmd_result,
 }
 
 

@@ -20,6 +20,9 @@ import gzip
 import hashlib
 import json
 import numbers
+import os
+import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -89,9 +92,23 @@ class BuildCache:
 
     In-memory by default; give a *directory* to persist entries as
     ``<key>.json.gz`` so warm rebuilds work across processes.  With
-    *max_entries*, least-recently-used entries are evicted (memory and
-    disk) once the bound is exceeded.  Returned values are shared — treat
-    them as read-only.
+    *max_entries*, least-recently-used entries are evicted once the bound
+    is exceeded: always from memory, and from disk only for keys this
+    instance wrote itself — entries merely *read* from a directory another
+    process populated are never unlinked out from under their writer.
+    Returned values are shared — treat them as read-only.
+
+    *shared* marks the directory as a multi-process tier (the serve job
+    store runs one per farm): writes stay atomic and unique-temp-named as
+    always, but eviction and corrupt-blob recovery never delete disk
+    files, since a sibling process may have just replaced them with a
+    good entry.
+
+    *shard* spreads entries over ``directory/<key[:shard]>/`` prefix
+    subdirectories so a farm-sized cache does not accumulate one flat
+    directory of millions of files.  Reads consult both the sharded and
+    the flat location, so turning sharding on over an existing cache
+    keeps its entries reachable.
     """
 
     def __init__(
@@ -99,39 +116,55 @@ class BuildCache:
         directory: str | Path | None = None,
         *,
         max_entries: int | None = None,
+        shared: bool = False,
+        shard: int = 0,
     ) -> None:
         self.directory = Path(directory) if directory is not None else None
         self.max_entries = max_entries
+        self.shared = bool(shared)
+        self.shard = max(0, int(shard))
         self.stats = CacheStats()
         self._mem: OrderedDict[str, Any] = OrderedDict()
+        self._owned: set[str] = set()
+        # Serve workers share one cache across threads; the LRU dict and
+        # stats need a lock even though the disk tier is already atomic.
+        self._lock = threading.RLock()
 
     # -- lookup ------------------------------------------------------------
 
     def get(self, key: str, default: Any = None) -> Any:
         """Fetch *key*, counting a hit or a miss."""
-        value = self._peek(key)
-        if value is _MISS:
-            self.stats.misses += 1
-            return default
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            value = self._peek(key)
+            if value is _MISS:
+                self.stats.misses += 1
+                return default
+            self.stats.hits += 1
+            return value
 
     def __contains__(self, key: str) -> bool:
-        return self._peek(key) is not _MISS
+        with self._lock:
+            return self._peek(key) is not _MISS
 
     def _peek(self, key: str) -> Any:
         if key in self._mem:
             self._mem.move_to_end(key)
             return self._mem[key]
         if self.directory is not None:
-            path = self._path(key)
-            if path.exists():
+            for path in self._read_paths(key):
+                if not path.exists():
+                    continue
                 try:
                     value = json.loads(gzip.decompress(path.read_bytes()).decode())
-                except (OSError, EOFError, gzip.BadGzipFile, json.JSONDecodeError):
-                    # corrupt or truncated on-disk entry: drop it and rebuild
-                    path.unlink(missing_ok=True)
-                    return _MISS
+                except (OSError, EOFError, gzip.BadGzipFile, json.JSONDecodeError,
+                        UnicodeDecodeError):
+                    # Corrupt or truncated on-disk entry: treat as a miss.
+                    # Only unlink in private mode — in a shared directory a
+                    # sibling process may have already replaced the path
+                    # with a good blob we would be deleting.
+                    if not self.shared:
+                        path.unlink(missing_ok=True)
+                    continue
                 self._remember(key, value)
                 return value
         return _MISS
@@ -139,31 +172,72 @@ class BuildCache:
     # -- store -------------------------------------------------------------
 
     def put(self, key: str, value: Any) -> None:
-        """Store *value* (must be JSON-serializable) under *key*."""
+        """Store *value* (must be JSON-serializable) under *key*.
+
+        The on-disk write is crash- and race-safe: the blob lands in a
+        uniquely named temp file in the destination directory and is
+        moved into place with an atomic :func:`os.replace`, so two
+        processes storing the same key concurrently cannot interleave
+        partial writes (the last complete blob wins, and both are
+        identical anyway — keys are content addresses).
+        """
         if self.directory is not None:
-            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
             blob = gzip.compress(json.dumps(value).encode(), mtime=0)
-            tmp = self._path(key).with_suffix(".tmp")
-            tmp.write_bytes(blob)
-            tmp.replace(self._path(key))
-        self._remember(key, value)
-        self.stats.puts += 1
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:16]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        with self._lock:
+            self._owned.add(key)
+            self._remember(key, value)
+            self.stats.puts += 1
 
     def _remember(self, key: str, value: Any) -> None:
         self._mem[key] = value
         self._mem.move_to_end(key)
         while self.max_entries is not None and len(self._mem) > self.max_entries:
             old, _ = self._mem.popitem(last=False)
-            if self.directory is not None:
+            # Disk eviction is scoped to keys this instance wrote, and
+            # disabled entirely for shared directories: deleting an entry
+            # some other process put (or is mid-read on) would turn their
+            # hit into a rebuild — or worse, a partial read.
+            if self.directory is not None and not self.shared and old in self._owned:
                 self._path(old).unlink(missing_ok=True)
+                self._owned.discard(old)
             self.stats.evictions += 1
 
     def _path(self, key: str) -> Path:
+        """Canonical on-disk location of *key* (shard-aware)."""
         assert self.directory is not None
+        if self.shard:
+            return self.directory / key[: self.shard] / f"{key}.json.gz"
         return self.directory / f"{key}.json.gz"
 
+    def _read_paths(self, key: str) -> list[Path]:
+        """Locations to consult on read: sharded first, then flat legacy."""
+        paths = [self._path(key)]
+        flat = self.directory / f"{key}.json.gz"
+        if flat != paths[0]:
+            paths.append(flat)
+        return paths
+
     def __len__(self) -> int:
-        keys = set(self._mem)
+        with self._lock:
+            keys = set(self._mem)
         if self.directory is not None and self.directory.exists():
-            keys.update(p.name[: -len(".json.gz")] for p in self.directory.glob("*.json.gz"))
+            keys.update(
+                p.name[: -len(".json.gz")]
+                for p in self.directory.rglob("*.json.gz")
+            )
         return len(keys)

@@ -1,0 +1,162 @@
+"""Job specifications: what one compile-service submission asks for.
+
+A :class:`JobSpec` is the JSON body of ``POST /v1/jobs`` — a declarative
+description of one accelerator build: which network (a stock model name
+or an inline textual architecture definition, see
+:mod:`repro.cnn.parser`), which device part, which flow, and the build
+options the flows already expose.  Everything is validated up front so a
+malformed submission is rejected at the API boundary with a clear
+message instead of failing minutes later inside a worker.
+
+Specs are *content addressed*: :meth:`JobSpec.content_key` hashes the
+canonical serialization of every build-relevant field (tenant excluded —
+identical builds submitted by different tenants share cache entries)
+through the same machinery the engine's :class:`~repro.engine.cache.
+BuildCache` uses, so a resubmitted spec hits the farm's shared cache and
+is answered without recompiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..cnn import MODEL_CATALOG, get_model, parse_architecture
+from ..engine.cache import content_key
+from ..fabric import PART_CATALOG, Device
+
+__all__ = ["SpecError", "JobSpec"]
+
+_FLOWS = ("preimpl", "baseline")
+_GRANULARITIES = ("layer", "block")
+_DRC_MODES = ("off", "warn", "strict")
+_EFFORTS = ("low", "medium", "high")
+
+
+class SpecError(ValueError):
+    """A submitted job spec is malformed or references unknown entities."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated compile request.
+
+    Exactly one of *model* (stock catalog name) and *architecture*
+    (inline textual CNN definition) must be set.  ``pipeline`` is
+    ``None`` (off), ``"auto"`` (target the slowest component's OOC
+    Fmax), or a frequency in MHz.
+    """
+
+    tenant: str = "default"
+    model: str | None = None
+    architecture: str | None = None
+    part: str = "ku5p-like"
+    flow: str = "preimpl"
+    granularity: str = "layer"
+    stream_weights: bool = False
+    pipeline: float | str | None = None
+    effort: str = "high"
+    seed: int = 0
+    drc: str = "off"
+    tags: dict = field(default_factory=dict)
+
+    # -- validation --------------------------------------------------------
+
+    def __post_init__(self) -> None:
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise SpecError("tenant must be a non-empty string")
+        if (self.model is None) == (self.architecture is None):
+            raise SpecError("exactly one of 'model' and 'architecture' is required")
+        if self.model is not None and self.model not in MODEL_CATALOG:
+            raise SpecError(
+                f"unknown model {self.model!r}; known: {sorted(MODEL_CATALOG)}"
+            )
+        if self.part not in PART_CATALOG:
+            raise SpecError(f"unknown part {self.part!r}; known: {sorted(PART_CATALOG)}")
+        if self.flow not in _FLOWS:
+            raise SpecError(f"unknown flow {self.flow!r}; known: {list(_FLOWS)}")
+        if self.granularity not in _GRANULARITIES:
+            raise SpecError(
+                f"unknown granularity {self.granularity!r}; known: {list(_GRANULARITIES)}"
+            )
+        if self.drc not in _DRC_MODES:
+            raise SpecError(f"unknown drc mode {self.drc!r}; known: {list(_DRC_MODES)}")
+        if self.effort not in _EFFORTS:
+            raise SpecError(f"unknown effort {self.effort!r}; known: {list(_EFFORTS)}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise SpecError(f"seed must be an integer, got {self.seed!r}")
+        if self.pipeline is not None and self.pipeline != "auto":
+            try:
+                target = float(self.pipeline)
+            except (TypeError, ValueError):
+                raise SpecError(
+                    f"pipeline must be null, 'auto', or a frequency in MHz, "
+                    f"got {self.pipeline!r}"
+                ) from None
+            if target <= 0:
+                raise SpecError(f"pipeline frequency must be positive, got {target}")
+        if self.architecture is not None:
+            # Parse now so a syntax error surfaces at submit time.
+            try:
+                parse_architecture(self.architecture)
+            except Exception as exc:
+                raise SpecError(f"invalid architecture definition: {exc}") from exc
+        if not isinstance(self.tags, dict):
+            raise SpecError("tags must be a JSON object")
+
+    # -- derived objects ---------------------------------------------------
+
+    def dfg(self):
+        """The CNN dataflow graph this spec builds."""
+        if self.model is not None:
+            return get_model(self.model)
+        return parse_architecture(self.architecture)
+
+    def device(self) -> Device:
+        return Device.from_name(self.part)
+
+    @property
+    def network_name(self) -> str:
+        return self.model if self.model is not None else self.dfg().name
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "model": self.model,
+            "architecture": self.architecture,
+            "part": self.part,
+            "flow": self.flow,
+            "granularity": self.granularity,
+            "stream_weights": self.stream_weights,
+            "pipeline": self.pipeline,
+            "effort": self.effort,
+            "seed": self.seed,
+            "drc": self.drc,
+            "tags": dict(self.tags),
+        }
+
+    @classmethod
+    def from_json(cls, data: Any) -> "JobSpec":
+        if not isinstance(data, dict):
+            raise SpecError(f"job spec must be a JSON object, got {type(data).__name__}")
+        known = {
+            "tenant", "model", "architecture", "part", "flow", "granularity",
+            "stream_weights", "pipeline", "effort", "seed", "drc", "tags",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(f"unknown spec fields: {unknown}")
+        kwargs = {k: v for k, v in data.items() if v is not None or k in ("model", "architecture", "pipeline")}
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise SpecError(str(exc)) from exc
+
+    def content_key(self) -> str:
+        """Content address of the *build*, shared across tenants."""
+        payload = self.to_json()
+        payload.pop("tenant")
+        payload.pop("tags")
+        return content_key("serve-job", payload)

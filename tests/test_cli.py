@@ -61,3 +61,51 @@ def test_parser_rejects_unknown():
         build_parser().parse_args(["run", "--model", "alexnet"])
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])
+
+
+def test_models_json_is_machine_readable():
+    import json
+
+    code, text = _run(["models", "--json"])
+    assert code == 0
+    doc = json.loads(text)
+    names = {m["name"] for m in doc["models"]}
+    assert {"lenet5", "lenet5_caffe", "vgg16"} <= names
+    vgg = next(m for m in doc["models"] if m["name"] == "vgg16")
+    assert vgg["conv_layers"] == 13 and vgg["fc_layers"] == 3
+    assert vgg["total_macs"] > 15_000_000_000
+
+
+def test_info_json_is_machine_readable():
+    import json
+
+    code, text = _run(["info", "--part", "tiny", "--json"])
+    assert code == 0
+    doc = json.loads(text)
+    assert doc["name"] == "tiny"
+    assert doc["columns"] > 0 and doc["rows"] > 0
+    assert "LUT" in doc["resources"]
+    assert isinstance(doc["io_columns"], list)
+
+
+def test_serve_cli_submit_requires_discovery_or_url(tmp_path):
+    with pytest.raises(SystemExit):
+        _run(["submit", "--data-dir", str(tmp_path / "nope"), "--model", "lenet5"])
+
+
+def test_serve_parsers_accept_expected_flags():
+    parser = build_parser()
+    args = parser.parse_args([
+        "serve", "--data-dir", "d", "--port", "0", "--workers", "3",
+        "--max-running", "4", "--max-queued", "9", "--rate", "2.5",
+    ])
+    assert args.port == 0 and args.workers == 3
+    args = parser.parse_args([
+        "submit", "--url", "http://127.0.0.1:1", "--model", "lenet5",
+        "--part", "small", "--effort", "low", "--follow",
+    ])
+    assert args.follow is True
+    args = parser.parse_args(["jobs", "--url", "http://x:1", "--state", "done"])
+    assert args.state == "done"
+    args = parser.parse_args(["result", "j000001", "--url", "http://x:1", "--wait"])
+    assert args.job_id == "j000001" and args.wait is True

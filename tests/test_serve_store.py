@@ -1,0 +1,144 @@
+"""JobStore: journal replay, crash recovery, results, sharded cache."""
+
+from __future__ import annotations
+
+import json
+
+from repro.serve import JobSpec, JobStore
+from repro.serve.store import CACHE_SHARD
+
+
+def _spec(**kw):
+    kw.setdefault("model", "lenet5")
+    kw.setdefault("part", "small")
+    kw.setdefault("effort", "low")
+    return JobSpec(**kw)
+
+
+class TestJournal:
+    def test_submit_appends_journal_line(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(_spec())
+        store.close()
+        lines = [json.loads(l) for l in (tmp_path / "journal.jsonl").read_text().splitlines()]
+        assert len(lines) == 1
+        assert lines[0]["ev"] == "submit"
+        assert lines[0]["job"] == record.id == "j000001"
+        assert lines[0]["key"] == record.key
+
+    def test_full_lifecycle_replays_as_done(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(_spec())
+        store.mark_running(record)
+        store.mark_done(record, {"fmax_mhz": 123.0}, cache="miss")
+        store.close()
+
+        reopened = JobStore(tmp_path)
+        replayed = reopened.get(record.id)
+        assert replayed is not None
+        assert replayed.state == "done"
+        assert replayed.cache == "miss"
+        assert replayed.recovered is False
+        assert replayed.progress.closed  # terminal jobs never park a waiter
+        assert reopened.load_result(record.id) == {"fmax_mhz": 123.0}
+
+    def test_failed_job_replays_with_error(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(_spec())
+        store.mark_running(record)
+        store.mark_failed(record, "BoomError: kaput")
+        store.close()
+
+        replayed = JobStore(tmp_path).get(record.id)
+        assert replayed.state == "failed"
+        assert "BoomError" in replayed.error
+        assert replayed.recovered is False
+
+
+class TestCrashRecovery:
+    def test_running_job_requeues_as_recovered(self, tmp_path):
+        """A server killed mid-build must not leave orphaned 'running' jobs."""
+        store = JobStore(tmp_path)
+        record = store.submit(_spec())
+        store.mark_running(record)
+        # Simulate SIGKILL: no mark_done/mark_failed, no clean close.
+
+        reopened = JobStore(tmp_path)
+        replayed = reopened.get(record.id)
+        assert replayed.state == "queued"
+        assert replayed.recovered is True
+        assert replayed.started_t is None
+        assert reopened.recovered_jobs() == [replayed]
+
+    def test_queued_job_requeues_as_recovered(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(_spec())
+
+        replayed = JobStore(tmp_path).get(record.id)
+        assert replayed.state == "queued"
+        assert replayed.recovered is True
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        store = JobStore(tmp_path)
+        done = store.submit(_spec())
+        store.mark_running(done)
+        store.mark_done(done, {"fmax_mhz": 1.0}, cache="hit")
+        store.close()
+        # A killed server's last write can be torn mid-line.
+        with open(tmp_path / "journal.jsonl", "a") as fh:
+            fh.write('{"ev": "state", "job": "j0000')
+
+        reopened = JobStore(tmp_path)
+        assert reopened.get(done.id).state == "done"
+        # New submissions append cleanly after the torn line.
+        fresh = reopened.submit(_spec())
+        reopened.close()
+        assert JobStore(tmp_path).get(fresh.id).state == "queued"
+
+    def test_job_ids_continue_after_replay(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.submit(_spec())
+        store.submit(_spec(seed=1))
+        store.close()
+
+        reopened = JobStore(tmp_path)
+        third = reopened.submit(_spec(seed=2))
+        assert third.id == "j000003"
+
+    def test_unknown_state_line_for_missing_job_ignored(self, tmp_path):
+        (tmp_path / "journal.jsonl").write_text(
+            json.dumps({"ev": "state", "job": "j999999", "state": "done"}) + "\n"
+        )
+        store = JobStore(tmp_path)
+        assert store.jobs() == []
+        assert store.replayed == 1
+
+
+class TestResults:
+    def test_result_roundtrip_and_atomic_write(self, tmp_path):
+        store = JobStore(tmp_path)
+        doc = {"fmax_mhz": 282.4, "stages": {"route": 0.01}}
+        path = store.save_result("j000042", doc)
+        assert path == tmp_path / "results" / "j000042.json"
+        assert store.load_result("j000042") == doc
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_missing_result_is_none(self, tmp_path):
+        assert JobStore(tmp_path).load_result("j000001") is None
+
+
+class TestFarmCache:
+    def test_cache_is_shared_and_sharded(self, tmp_path):
+        store = JobStore(tmp_path)
+        assert store.cache.shared is True
+        assert store.cache.shard == CACHE_SHARD
+        key = "ab" + "0" * 62
+        store.cache.put(key, {"v": 1})
+        assert (tmp_path / "cache" / key[:CACHE_SHARD] / f"{key}.json.gz").exists()
+
+    def test_cache_survives_restart(self, tmp_path):
+        store = JobStore(tmp_path)
+        key = "cd" + "0" * 62
+        store.cache.put(key, {"v": 2})
+        store.close()
+        assert JobStore(tmp_path).cache.get(key) == {"v": 2}
