@@ -176,6 +176,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--seed", type=int, default=0)
     _add_trace_options(p_build)
 
+    p_eco = sub.add_parser(
+        "eco", help="apply a post-route ECO to a built accelerator"
+    )
+    p_eco.add_argument("--model", default="lenet5", choices=sorted(MODEL_CATALOG))
+    p_eco.add_argument("--part", default="ku5p-like", choices=sorted(PART_CATALOG))
+    p_eco.add_argument("--granularity", default="layer", choices=("layer", "block"))
+    p_eco.add_argument("--effort", default="high",
+                       help="OOC placement effort for components and variants")
+    p_eco.add_argument("--swap-layer", default=None, metavar="MODULE",
+                       help="replace this module instance with a freshly "
+                            "re-implemented variant (unique name substring ok)")
+    p_eco.add_argument("--swap-seed", type=int, default=None,
+                       help="seed for the variant build (default: --seed + 1)")
+    p_eco.add_argument("--delta", default=None, metavar="PATH",
+                       help="JSON DesignDelta file (ops: swap, nudge, rewire, "
+                            "replace_layer)")
+    p_eco.add_argument("--cts", action="store_true",
+                       help="run clock-tree synthesis before the edit")
+    p_eco.add_argument("--cts-skew", type=float, default=None,
+                       help="CTS skew bound in ps (default 100)")
+    p_eco.add_argument("--drc", default="warn", choices=("off", "warn", "strict"),
+                       help="post-ECO DRC gate (strict rolls back and exits 2)")
+    p_eco.add_argument("--verify", action="store_true",
+                       help="replay the delta through the full re-route/re-time "
+                            "oracle and assert bit-identity (exit 1 on mismatch)")
+    p_eco.add_argument("--sarif", default=None, metavar="PATH",
+                       help="write the post-ECO DRC report as SARIF 2.1")
+    p_eco.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the offline database build")
+    p_eco.add_argument("--seed", type=int, default=0)
+    _add_trace_options(p_eco)
+
     p_fp = sub.add_parser("floorplan", help="stitch and render the floorplan")
     p_fp.add_argument("--model", default="lenet5", choices=sorted(MODEL_CATALOG))
     p_fp.add_argument("--part", default="ku5p-like", choices=sorted(PART_CATALOG))
@@ -429,6 +461,117 @@ def _cmd_drc(args, out) -> int:
     return report.exit_code(args.mode)
 
 
+def _cmd_eco(args, out) -> int:
+    import json as json_mod
+
+    from .drc import DrcError
+    from .eco import (
+        DesignDelta,
+        EcoEngine,
+        LayerReplace,
+        delta_from_json,
+        eco_reference,
+        run_cts,
+    )
+    from .netlist.checkpoint import design_from_dict, design_to_dict
+
+    device = Device.from_name(args.part)
+    net = get_model(args.model)
+    flow = PreImplementedFlow(device, component_effort=args.effort, seed=args.seed)
+    database, offline = flow.build_database(
+        net, granularity=args.granularity, jobs=args.jobs
+    )
+    result = flow.run(net, granularity=args.granularity, database=database)
+    top = result.design
+    print(f"built {args.model}: {result.fmax_mhz:.1f} MHz "
+          f"(offline {offline.total:.2f} s, {len(database)} checkpoints)", file=out)
+
+    if args.cts:
+        kwargs = {} if args.cts_skew is None else {"max_skew_ps": args.cts_skew}
+        trees = run_cts(top, device, delays=flow.delays, **kwargs)
+        for t in trees:
+            print(f"CTS {t.clock}: {t.n_buffers} buffers, depth {t.depth}, "
+                  f"skew {t.skew_ps:.1f} ps, insertion {t.insertion_ps:.1f} ps",
+                  file=out)
+
+    components = group_components(net, args.granularity)
+
+    def resolve(name: str):
+        matches = [c for c in components if c.name == name]
+        if not matches:
+            matches = [c for c in components if name in c.name]
+        if len(matches) != 1:
+            names = ", ".join(c.name for c in components)
+            raise SystemExit(
+                f"--swap-layer {name!r} matches {len(matches)} of: {names}"
+            )
+        return matches[0]
+
+    def variant(comp, seed: int):
+        vdb = ComponentDatabase(device)
+        vdb.build([comp], effort=args.effort, seed=seed)
+        return vdb.get(comp.signature)
+
+    swap_seed = args.swap_seed if args.swap_seed is not None else args.seed + 1
+    if args.delta:
+        data = json_mod.loads(Path(args.delta).read_text())
+        replacements = {}
+        for edit in data.get("edits", []):
+            if isinstance(edit, dict) and edit.get("op") == "replace_layer":
+                comp = resolve(edit["module"])
+                edit["module"] = comp.name
+                replacements[comp.name] = variant(
+                    comp, int(edit.pop("seed", swap_seed))
+                )
+        delta = delta_from_json(data, components=replacements)
+    elif args.swap_layer:
+        comp = resolve(args.swap_layer)
+        delta = DesignDelta(
+            f"swap:{comp.name}@seed{swap_seed}",
+            (LayerReplace(comp.name, variant(comp, swap_seed)),),
+        )
+    else:
+        raise SystemExit("eco needs --swap-layer or --delta")
+
+    pre_doc = design_to_dict(top) if args.verify else None
+    engine = EcoEngine(top, device, graph=flow.graph, delays=flow.delays,
+                       seed=args.seed, drc=args.drc, database=database)
+    try:
+        eco = engine.apply(delta)
+    except DrcError as exc:
+        print(f"ECO rejected (design rolled back): {exc}", file=out)
+        return 2
+    print(eco.summary(), file=out)
+    if eco.drc is not None:
+        print(eco.drc.summary(), file=out)
+        if args.sarif:
+            Path(args.sarif).write_text(json_mod.dumps(eco.drc.to_sarif(), indent=2))
+            print(f"SARIF report written to {args.sarif}", file=out)
+
+    if args.verify:
+        ref = eco_reference(
+            design_from_dict(pre_doc), delta, device, graph=flow.graph,
+            delays=flow.delays, seed=args.seed, drc=args.drc, database=database,
+        )
+        report_key = lambda r: (r.period_ps, r.clock_overhead_ps,
+                                r.clock_insertion_ps, r.critical_path, r.n_paths)
+        same = (
+            design_to_dict(top) == design_to_dict(ref.design)
+            and report_key(eco.after) == report_key(ref.after)
+        )
+        if eco.drc is not None and ref.drc is not None:
+            findings = lambda rep: [
+                (v.rule_id, v.location.kind, v.location.name, v.message)
+                for v in rep.violations
+            ]
+            same = same and findings(eco.drc) == findings(ref.drc)
+        verdict = "bit-identical" if same else "MISMATCH"
+        print(f"oracle check (full re-route/re-time replay): {verdict}", file=out)
+        if not same:
+            return 1
+    return 0
+
+
 def _cmd_floorplan(args, out) -> int:
     device = Device.from_name(args.part)
     net = get_model(args.model)
@@ -607,6 +750,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "build": _cmd_build,
     "drc": _cmd_drc,
+    "eco": _cmd_eco,
     "floorplan": _cmd_floorplan,
     "explore": _cmd_explore,
     "trace-report": _cmd_trace_report,

@@ -41,7 +41,7 @@ __all__ = [
 ]
 
 #: Known rule categories, in sweep order.
-CATEGORIES = ("netlist", "clock", "placement", "routing", "database")
+CATEGORIES = ("netlist", "clock", "placement", "routing", "database", "eco")
 
 #: Default ceiling for the NET-006 fanout rule (stock designs peak ~5).
 DEFAULT_MAX_FANOUT = 64

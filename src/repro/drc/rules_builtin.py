@@ -7,4 +7,4 @@ rule; :func:`repro.drc.run_drc` imports it lazily so a bare
 
 from __future__ import annotations
 
-from . import rules_db, rules_netlist, rules_place, rules_route  # noqa: F401
+from . import rules_db, rules_eco, rules_netlist, rules_place, rules_route  # noqa: F401

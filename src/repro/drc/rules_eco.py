@@ -1,0 +1,83 @@
+"""ECO rules (ECO-*): hygiene of incrementally edited designs.
+
+The :mod:`repro.eco` engine edits a finished design in place — ripping
+routes, re-pointing clock sinks, splicing replacement layers.  Each rule
+here watches for one way that surgery can be left half-done.  They run
+in every sweep (like the netlist rules): on a never-edited design they
+are trivially clean, and a violation on a flow or ECO output means the
+edit machinery itself has a bug.
+"""
+
+from __future__ import annotations
+
+from .engine import rule
+
+
+@rule("ECO-001", category="eco", severity="error", title="dangling rip-up")
+def eco_dangling_ripup(ctx, emit) -> None:
+    """A net whose route list lost sync with its sink list.
+
+    Rip-up must *replace* routes with ``[None] * len(sinks)`` (see
+    :meth:`repro.netlist.Net.clear_routes`); a mismatched length means
+    an edit mutated one list without the other, and every downstream
+    consumer (router, STA memo, checkpoint codec) will mis-index.
+    """
+    for net in ctx.design.nets.values():
+        if len(net.routes) != len(net.sinks):
+            emit(
+                "net", net.name,
+                f"net {net.name} has {len(net.routes)} route slot(s) for "
+                f"{len(net.sinks)} sink(s)",
+            )
+
+
+@rule("ECO-002", category="eco", severity="warning", title="stale clock sink")
+def eco_stale_clock_sink(ctx, emit) -> None:
+    """A clock net sinking a cell that no longer needs a clock.
+
+    Layer replacement strips the outgoing instance's cells from the
+    clock net; a clock sink that is neither sequential nor a clock
+    buffer (``BUFCE``) is leftover bookkeeping from an edit that removed
+    or swapped the cell without cleaning up its clock connection.
+    Unknown sink names are NET-003's (fatal) problem, not ours.
+    """
+    cells = ctx.design.cells
+    for net in ctx.design.nets.values():
+        if not net.is_clock:
+            continue
+        for sink in net.sinks:
+            cell = cells.get(sink)
+            if cell is None:
+                continue
+            if not cell.seq and cell.ctype != "BUFCE":
+                emit(
+                    "net", net.name,
+                    f"clock net {net.name} sinks {sink}, which is neither "
+                    f"sequential nor a clock buffer",
+                )
+
+
+@rule("ECO-003", category="eco", severity="error", title="unrouted delta net")
+def eco_unrouted_delta_net(ctx, emit) -> None:
+    """A net the last ECO ripped up that never got rerouted.
+
+    The engine records its rip-up scope in ``design.metadata["eco"]``;
+    after the incremental reroute every surviving, connectable net in
+    that scope must be fully routed again.  Nets the delta legitimately
+    removed or disconnected are skipped.
+    """
+    eco = ctx.design.metadata.get("eco")
+    if not eco:
+        return
+    for name in eco.get("ripped", ()):
+        net = ctx.design.nets.get(name)
+        if net is None or net.locked or net.is_clock:
+            continue
+        if net.driver is None or not net.sinks:
+            continue  # boundary/port nets the router does not own
+        if not net.is_routed:
+            emit(
+                "net", name,
+                f"net {name} was ripped up by ECO {eco.get('delta')!r} and "
+                f"is still unrouted",
+            )

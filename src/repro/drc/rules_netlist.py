@@ -143,9 +143,15 @@ def net_unknown_port_net(ctx, emit) -> None:
 def clk_driven_by_logic(ctx, emit) -> None:
     """A clock net with a fabric cell driver.  Clocks enter through ports
     onto the dedicated network (merge_clock_nets / HD.CLK_SRC stubs);
-    logic-generated clocks would be unroutable on the clock tree."""
+    logic-generated clocks would be unroutable on the clock tree.  Clock
+    *buffers* (``BUFCE``, inserted by :func:`repro.eco.run_cts`) are part
+    of that dedicated network and are legal clock drivers."""
+    cells = ctx.design.cells
     for net in ctx.design.nets.values():
         if net.is_clock and net.driver is not None:
+            driver = cells.get(net.driver)
+            if driver is not None and driver.ctype == "BUFCE":
+                continue
             emit("net", net.name,
                  f"clock net {net.name} is driven by logic cell {net.driver!r}")
 

@@ -46,6 +46,9 @@ SITE_FOR_TILE = {
 
 #: Tile type required by each placeable cell/site type.
 TILE_FOR_CELL = {site: tile for tile, site in SITE_FOR_TILE.items()}
+#: Clock buffers (CTS) have no dedicated column on this fabric model;
+#: they occupy spare CLB sites, one per tile like any SLICE.
+TILE_FOR_CELL["BUFCE"] = TileType.CLB
 
 
 @dataclass(frozen=True)

@@ -82,6 +82,20 @@ CELL_LIBRARY: dict[str, CellTypeSpec] = {
             setup_ps=90.0,
             dyn_power_nw_mhz=7.0,
         ),
+        # Clock buffer for CTS-built distribution trees.  Combinational
+        # (it registers nothing), zero setup, and a fixed low insertion
+        # delay; it only ever drives clock nets, so it never appears on a
+        # data path.  Hosted on spare CLB sites — this fabric model has no
+        # dedicated clock column.
+        CellTypeSpec(
+            name="BUFCE",
+            max_resources={},
+            base_delay_ps=120.0,
+            depth_delay_ps=0.0,
+            setup_ps=0.0,
+            sequential=False,
+            dyn_power_nw_mhz=1.2,
+        ),
         CellTypeSpec(
             name="URAM288",
             max_resources={"URAM288": 1},

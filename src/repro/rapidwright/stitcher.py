@@ -78,6 +78,10 @@ def compose(
     prev_out: str | None = None
     first_in: str | None = None
     n_weight_ports = 0
+    # Fabric regions claimed by relocated components: ECO layer swaps may
+    # place anywhere inside them, so CTS and other site allocators must
+    # keep out (recorded in top.metadata["footprints"]).
+    footprints: dict[str, list[int]] = {}
     while queue:
         comp = queue.popleft()
         try:
@@ -89,6 +93,11 @@ def compose(
         else:
             module = database.get(comp.signature)
         module = relocate(module, device, anchor)
+        if module.pblock is not None:
+            footprints[comp.name] = [
+                module.pblock.col0, module.pblock.row0,
+                module.pblock.col1, module.pblock.row1,
+            ]
         portmap = top.instantiate(module, prefix=comp.name, module=comp.name)
         result.records.append(
             StitchRecord(
@@ -127,6 +136,10 @@ def compose(
         stitched=True,
         n_components=len(components),
         slowest_component_mhz=result.slowest_component_mhz,
+        # Per-instance relocation anchors, JSON-shaped for the checkpoint
+        # codec; repro.eco.LayerReplace resolves its target from these.
+        anchors={r.name: [r.anchor[0], r.anchor[1]] for r in result.records},
+        footprints=footprints,
     )
     result.pruned_nets = prune_dangling_nets(top)
     top.validate(device)
@@ -159,7 +172,13 @@ def compose_shared(
     top = Design(name)
     result = StitchResult(top=top)
 
+    footprints: dict[str, list[int]] = {}
     sched = relocate(scheduler, device, anchors["scheduler"])
+    if sched.pblock is not None:
+        footprints["scheduler"] = [
+            sched.pblock.col0, sched.pblock.row0,
+            sched.pblock.col1, sched.pblock.row1,
+        ]
     sched_map = top.instantiate(sched, prefix="scheduler", module="scheduler")
     sched_in_net = top.nets[sched_map["in_data"]]
     sched_out_net = top.nets[sched_map["out_data"]]
@@ -182,6 +201,11 @@ def compose_shared(
         if anchor is None:
             raise DesignError(f"no anchor assigned for shared component {comp.name}")
         module = relocate(database.get(comp.signature), device, anchor)
+        if module.pblock is not None:
+            footprints[comp.name] = [
+                module.pblock.col0, module.pblock.row0,
+                module.pblock.col1, module.pblock.row1,
+            ]
         portmap = top.instantiate(module, prefix=comp.name, module=comp.name)
         result.records.append(
             StitchRecord(
@@ -217,6 +241,8 @@ def compose_shared(
         n_physical=len(unique),
         passes=len(components),
         slowest_component_mhz=result.slowest_component_mhz,
+        anchors={r.name: [r.anchor[0], r.anchor[1]] for r in result.records},
+        footprints=footprints,
     )
     result.pruned_nets = prune_dangling_nets(top)
     top.validate(device)

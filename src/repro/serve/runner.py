@@ -70,6 +70,80 @@ def build_result_doc(spec: JobSpec, result, offline_s: float, wall_s: float) -> 
     return doc
 
 
+def _run_eco(spec: JobSpec, flow, result, database) -> dict:
+    """Apply the spec's post-route ECO to the finished build.
+
+    Reuses the run's routing graph and delay model; the variant
+    component is re-implemented out of context at ``eco.swap_seed``.
+    With ``verify`` the edit is replayed through the full re-route/
+    re-time oracle and any divergence fails the job — the farm never
+    serves an unverified incremental result when asked to prove it.
+    """
+    from ..eco import DesignDelta, EcoEngine, LayerReplace, eco_reference, run_cts
+    from ..netlist.checkpoint import design_from_dict, design_to_dict
+    from ..rapidwright import ComponentDatabase
+
+    eco_spec = spec.eco or {}
+    device = spec.device()
+    top = result.design
+    doc: dict = {}
+
+    if eco_spec.get("cts"):
+        trees = run_cts(top, device, delays=flow.delays)
+        doc["cts"] = {
+            "buffers": sum(t.n_buffers for t in trees),
+            "skew_ps": round(max(t.skew_ps for t in trees), 3),
+            "insertion_ps": round(max(t.insertion_ps for t in trees), 3),
+        }
+
+    comp = spec.resolve_eco_layer()
+    swap_seed = eco_spec.get("swap_seed", spec.seed + 1)
+    variant_db = ComponentDatabase(device)
+    variant_db.build(
+        [comp], rom_weights=not spec.stream_weights,
+        effort=spec.effort, seed=swap_seed,
+    )
+    delta = DesignDelta(
+        f"swap:{comp.name}@seed{swap_seed}",
+        (LayerReplace(comp.name, variant_db.get(comp.signature)),),
+    )
+
+    verify = bool(eco_spec.get("verify"))
+    pre_doc = design_to_dict(top) if verify else None
+    drc_mode = spec.drc if spec.drc != "off" else "warn"
+    engine = EcoEngine(
+        top, device, graph=flow.graph, delays=flow.delays,
+        seed=spec.seed, drc=drc_mode, database=database,
+    )
+    eco = engine.apply(delta)
+    doc.update(
+        delta=delta.name,
+        ripped=len(eco.ripped),
+        rerouted=eco.route.routed,
+        fmax_before_mhz=round(eco.before.fmax_mhz, 3),
+        fmax_after_mhz=round(eco.after.fmax_mhz, 3),
+        drc_violations=len(eco.drc.violations) if eco.drc is not None else None,
+    )
+    if verify:
+        ref = eco_reference(
+            design_from_dict(pre_doc), delta, device, graph=flow.graph,
+            delays=flow.delays, seed=spec.seed, drc=drc_mode, database=database,
+        )
+        key = lambda r: (r.period_ps, r.clock_overhead_ps, r.clock_insertion_ps,
+                         r.critical_path, r.n_paths)
+        identical = (
+            design_to_dict(top) == design_to_dict(ref.design)
+            and key(eco.after) == key(ref.after)
+        )
+        doc["oracle"] = "bit-identical" if identical else "mismatch"
+        if not identical:
+            raise RuntimeError(
+                f"eco verification failed: incremental result for "
+                f"{delta.name} diverges from the full-recompile oracle"
+            )
+    return doc
+
+
 def _execute(spec: JobSpec, cache) -> dict:
     """Run the flow the spec asks for; returns the result document."""
     device = spec.device()
@@ -81,6 +155,7 @@ def _execute(spec: JobSpec, cache) -> dict:
             dfg, granularity=spec.granularity, rom_weights=rom_weights
         )
         offline_s = 0.0
+        flow = database = None
     else:
         flow = PreImplementedFlow(
             device, component_effort=spec.effort, seed=spec.seed, drc=spec.drc
@@ -93,8 +168,14 @@ def _execute(spec: JobSpec, cache) -> dict:
             database=database, pipeline_target_mhz=spec.pipeline,
         )
         offline_s = offline.total
+    eco_doc = None
+    if spec.eco is not None and flow is not None:
+        eco_doc = _run_eco(spec, flow, result, database)
     wall_s = time.perf_counter() - started
-    return build_result_doc(spec, result, offline_s, wall_s)
+    doc = build_result_doc(spec, result, offline_s, wall_s)
+    if eco_doc is not None:
+        doc["eco"] = eco_doc
+    return doc
 
 
 def run_job(spec: JobSpec, *, cache=None, progress: ProgressLog | None = None) -> tuple[dict, str]:

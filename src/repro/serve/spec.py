@@ -58,6 +58,13 @@ class JobSpec:
     effort: str = "high"
     seed: int = 0
     drc: str = "off"
+    #: Post-route ECO to apply after the build (preimpl only): a JSON
+    #: object ``{"swap_layer": <module>, "swap_seed": <int>, "cts": bool,
+    #: "verify": bool}``.  The named module instance is replaced with a
+    #: freshly re-implemented variant through :class:`repro.eco.EcoEngine`;
+    #: ``verify`` replays the edit through the full-recompile oracle and
+    #: fails the job on any divergence.
+    eco: dict | None = None
     tags: dict = field(default_factory=dict)
 
     # -- validation --------------------------------------------------------
@@ -103,6 +110,50 @@ class JobSpec:
                 raise SpecError(f"invalid architecture definition: {exc}") from exc
         if not isinstance(self.tags, dict):
             raise SpecError("tags must be a JSON object")
+        if self.eco is not None:
+            self._validate_eco()
+
+    def _validate_eco(self) -> None:
+        if not isinstance(self.eco, dict):
+            raise SpecError("eco must be a JSON object")
+        if self.flow != "preimpl":
+            raise SpecError("eco requires the preimpl flow")
+        allowed = {"swap_layer", "swap_seed", "cts", "verify"}
+        unknown = sorted(set(self.eco) - allowed)
+        if unknown:
+            raise SpecError(f"unknown eco fields: {unknown}")
+        layer = self.eco.get("swap_layer")
+        if not layer or not isinstance(layer, str):
+            raise SpecError("eco.swap_layer must be a non-empty module name")
+        swap_seed = self.eco.get("swap_seed")
+        if swap_seed is not None and (
+            not isinstance(swap_seed, int) or isinstance(swap_seed, bool)
+        ):
+            raise SpecError(f"eco.swap_seed must be an integer, got {swap_seed!r}")
+        for flag in ("cts", "verify"):
+            if not isinstance(self.eco.get(flag, False), bool):
+                raise SpecError(f"eco.{flag} must be a boolean")
+        if self.resolve_eco_layer() is None:
+            names = [c.name for c in self._components()]
+            raise SpecError(
+                f"eco.swap_layer {layer!r} does not uniquely match a "
+                f"component; known: {names}"
+            )
+
+    def _components(self):
+        from ..cnn import group_components
+
+        return group_components(self.dfg(), self.granularity)
+
+    def resolve_eco_layer(self):
+        """The component the eco swap targets (exact or unique-substring
+        match against the instance names), or ``None``."""
+        layer = (self.eco or {}).get("swap_layer", "")
+        components = self._components()
+        matches = [c for c in components if c.name == layer]
+        if not matches:
+            matches = [c for c in components if layer in c.name]
+        return matches[0] if len(matches) == 1 else None
 
     # -- derived objects ---------------------------------------------------
 
@@ -134,6 +185,7 @@ class JobSpec:
             "effort": self.effort,
             "seed": self.seed,
             "drc": self.drc,
+            "eco": dict(self.eco) if self.eco is not None else None,
             "tags": dict(self.tags),
         }
 
@@ -143,7 +195,7 @@ class JobSpec:
             raise SpecError(f"job spec must be a JSON object, got {type(data).__name__}")
         known = {
             "tenant", "model", "architecture", "part", "flow", "granularity",
-            "stream_weights", "pipeline", "effort", "seed", "drc", "tags",
+            "stream_weights", "pipeline", "effort", "seed", "drc", "eco", "tags",
         }
         unknown = sorted(set(data) - known)
         if unknown:

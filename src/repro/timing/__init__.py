@@ -11,7 +11,14 @@ from .delays import DEFAULT_DELAYS, DelayModel
 from .graph import TimingGraph
 from .incremental import IncrementalSta, StaSessionStats
 from .pipeline import PipelineResult, pipeline_to_target
-from .sta import TimingError, TimingReport, analyze, analyze_reference, fmax_mhz
+from .sta import (
+    TimingError,
+    TimingReport,
+    analyze,
+    analyze_reference,
+    clock_terms,
+    fmax_mhz,
+)
 
 __all__ = [
     "DEFAULT_DELAYS",
@@ -24,6 +31,7 @@ __all__ = [
     "TimingReport",
     "analyze",
     "analyze_reference",
+    "clock_terms",
     "fmax_mhz",
     "pipeline_to_target",
 ]

@@ -49,7 +49,7 @@ from ..fabric.device import Device
 from ..fabric.interconnect import RoutingGraph
 from ..netlist.design import Design
 from .delays import DEFAULT_DELAYS, DelayModel
-from .sta import TimingError, TimingReport, combinational_loops
+from .sta import TimingError, TimingReport, clock_terms, combinational_loops
 
 __all__ = ["TimingGraph"]
 
@@ -122,6 +122,7 @@ class TimingGraph:
         self.topo_rev = 0
         self.memo_hits = 0
         self.memo_misses = 0
+        self._clock_terms: tuple[float, float] | None = None
 
     # -- sync: diff the design against the compiled snapshot ----------------
 
@@ -187,6 +188,29 @@ class TimingGraph:
             self._register_net(net, dirty, stamp=None)
             structural = True
 
+        # Ordering stamps must increase along dict iteration order — that
+        # is what makes the stamp-sorted fan-in reproduce a fresh
+        # ``design.nets.values()`` walk.  A del + re-add of the *same*
+        # net object (a pipeline or ECO revert restoring a saved net)
+        # moves the entry to the end of dict order while the identity
+        # snapshot above still matches, so its stale stamp — and the
+        # delay memo entries hanging off the old edges — would silently
+        # diverge from the reference on arrival ties, and the memoized
+        # report could be served for a changed design.  Re-stamp any net
+        # that fell behind the running maximum; each repair raises the
+        # maximum, so a displaced suffix is re-stamped in dict order and
+        # monotonicity is restored.
+        prev_stamp = -1
+        for name in design.nets:
+            stamp = self.net_stamp.get(name)
+            if stamp is None:  # pragma: no cover - all nets registered above
+                continue
+            if stamp < prev_stamp:
+                self._reregister_net(design.nets[name], dirty, fresh_stamp=True)
+                stamp = self.net_stamp[name]
+                structural = True
+            prev_stamp = stamp
+
         # Nets with missing endpoints sit outside the per-edge memo (their
         # error status depends on routes and the cell set); re-register
         # them every sync so it never goes stale.  Valid designs never
@@ -221,7 +245,14 @@ class TimingGraph:
                 continue
             self._recompute_edge(eid, net, dirty)
 
-        if structural or len(dirty) != n_dirty0:
+        # CTS skew/insertion live in design metadata, outside the
+        # cell/net diff — track them here so a clock-tree (re)build alone
+        # invalidates the memoized report.
+        terms = clock_terms(design, self.delays)
+        terms_changed = terms != self._clock_terms
+        self._clock_terms = terms
+
+        if structural or terms_changed or len(dirty) != n_dirty0:
             self.state_rev += 1
         if structural:
             self.topo_rev += 1
@@ -286,9 +317,14 @@ class TimingGraph:
         self.nets_missing.discard(name)
         self.net_errors.pop(name, None)
 
-    def _reregister_net(self, net, dirty: set[int]) -> None:
-        """Rebuild a net's edges keeping its ordering stamp (in-place edit)."""
-        stamp = self.net_stamp[net.name]
+    def _reregister_net(self, net, dirty: set[int], *, fresh_stamp: bool = False) -> None:
+        """Rebuild a net's edges keeping its ordering stamp (in-place edit).
+
+        ``fresh_stamp=True`` re-stamps the net at the back of the ordering
+        instead — used when a same-object del + re-add moved its dict
+        position without changing its contents.
+        """
+        stamp = None if fresh_stamp else self.net_stamp[net.name]
         for eid in self.net_edges[net.name]:
             if self.e_alive[eid]:
                 self._kill_edge(eid)
@@ -516,12 +552,12 @@ class TimingGraph:
                 if total > worst:
                     worst = total
                     worst_eid = eid
-        overhead = self.delays.clock_overhead_ps
+        overhead, insertion = clock_terms(self.design, self.delays)
         if worst_eid < 0:
             worst = max(
                 (out[i] for i in range(len(names)) if alive[i]), default=0.0
             )
-            return TimingReport(self.design.name, worst, overhead, [], 0)
+            return TimingReport(self.design.name, worst, overhead, [], 0, insertion)
         path: list[tuple[str, str | None]] = [
             (names[self.e_dst[worst_eid]], self.e_net[worst_eid])
         ]
@@ -534,7 +570,7 @@ class TimingGraph:
             cursor = e_src[pe] if pe >= 0 else -1
             guard += 1
         path.reverse()
-        return TimingReport(self.design.name, worst, overhead, path, n_paths)
+        return TimingReport(self.design.name, worst, overhead, path, n_paths, insertion)
 
     # -- housekeeping --------------------------------------------------------
 

@@ -37,9 +37,33 @@ __all__ = [
     "TimingError",
     "analyze",
     "analyze_reference",
+    "clock_terms",
     "fmax_mhz",
     "combinational_loops",
 ]
+
+
+def clock_terms(design: Design, delays: DelayModel) -> tuple[float, float]:
+    """``(clock_overhead_ps, clock_insertion_ps)`` for one report.
+
+    Designs without a synthesized clock tree pay the flat
+    :attr:`~repro.timing.delays.DelayModel.clock_overhead_ps` and report
+    zero insertion delay.  After :func:`repro.eco.run_cts` has recorded
+    its tree in ``design.metadata["cts"]``, the measured worst skew is
+    added to the overhead (launch and capture edges can disagree by at
+    most that much) and the worst insertion delay is surfaced once in
+    :attr:`TimingReport.clock_insertion_ps`.  Both engines — the
+    reference and the compiled graph — report through this single
+    helper, which is what keeps the CTS terms bit-identical and applied
+    exactly once no matter how often the design is re-analyzed.
+    """
+    cts = design.metadata.get("cts")
+    if not cts:
+        return delays.clock_overhead_ps, 0.0
+    return (
+        delays.clock_overhead_ps + float(cts.get("skew_ps", 0.0)),
+        float(cts.get("insertion_ps", 0.0)),
+    )
 
 
 class TimingError(ValueError):
@@ -65,6 +89,11 @@ class TimingReport:
     clock_overhead_ps: float
     critical_path: list[tuple[str, str | None]] = field(default_factory=list)
     n_paths: int = 0
+    #: Clock-tree source-to-sink latency (CTS).  Informational: common to
+    #: launch and capture edges, so it cancels out of the period — only
+    #: the *skew*, already folded into ``clock_overhead_ps`` by
+    #: :func:`clock_terms`, costs Fmax.
+    clock_insertion_ps: float = 0.0
 
     @property
     def fmax_mhz(self) -> float:
@@ -214,11 +243,12 @@ def _analyze(
                 worst = total
                 worst_end = (dst, (src, net_name))
 
+    overhead, insertion = clock_terms(design, delays)
     if worst_end is None:
         # Purely combinational or empty design: report logic depth only.
         worst = max(out_time.values(), default=0.0)
         sta_span.set(period_ps=round(worst, 3), n_paths=0)
-        return TimingReport(design.name, worst, delays.clock_overhead_ps, [], 0)
+        return TimingReport(design.name, worst, overhead, [], 0, insertion)
 
     # Reconstruct the critical path.
     path: list[tuple[str, str | None]] = []
@@ -234,7 +264,7 @@ def _analyze(
     path.reverse()
 
     sta_span.set(period_ps=round(worst, 3), n_paths=n_paths, depth=len(path))
-    return TimingReport(design.name, worst, delays.clock_overhead_ps, path, n_paths)
+    return TimingReport(design.name, worst, overhead, path, n_paths, insertion)
 
 
 def combinational_loops(design: Design) -> list[list[str]]:

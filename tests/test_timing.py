@@ -191,6 +191,60 @@ def test_pipeline_revert_restores_exact_state(tiny_device, tiny_graph):
     d.validate(tiny_device)
 
 
+def test_pipeline_revert_leaves_no_stale_memo(tiny_device, tiny_graph):
+    """Regression: a revert re-adds the *saved* net object, which moves it
+    to the end of dict iteration order.  The session must re-register it
+    (fresh stamp, delays recomputed) rather than serve memo entries keyed
+    on the dead edges — re-timing after the revert has to be bit-identical
+    to the reference and must not be answered from the report cache."""
+    from repro.route import Router
+
+    d = Design("r2r")
+    clb = int(tiny_device.columns_of(TileType.CLB)[0])
+    d.new_cell("a", "SLICE", placement=(clb, 0), luts=1, ffs=1)
+    d.new_cell("b", "SLICE", placement=(clb, 1), luts=1, ffs=1)
+    d.connect("n", "a", ["b"], width=8)
+    Router(tiny_device, tiny_graph).route(d)
+
+    session = IncrementalSta(d, tiny_device, tiny_graph)
+    before = session.analyze()
+    result = pipeline_to_target(d, tiny_device, 1.0, graph=tiny_graph, session=session)
+    assert result.inserted == 0  # one-tile hop: the split reverted
+
+    cached0, misses0 = session.stats.cached, session.stats.memo_misses
+    after = session.analyze()
+    assert session.stats.cached == cached0, "revert went unnoticed (stale cache hit)"
+    assert session.stats.memo_misses > misses0, "restored net's delays not recomputed"
+    ref = analyze_reference(d, tiny_device, tiny_graph)
+    assert (after.period_ps, after.critical_path, after.n_paths) == (
+        ref.period_ps, ref.critical_path, ref.n_paths
+    ) == (before.period_ps, before.critical_path, before.n_paths)
+
+
+def test_same_object_net_readd_restamps(tiny_device):
+    """Regression: del + re-add of the *same* Net object (the ECO undo
+    path) moves it to the end of dict order; the stamp must follow, or
+    arrival ties break differently from the reference."""
+    d = Design("tie")
+    clb = int(tiny_device.columns_of(TileType.CLB)[0])
+    # Symmetric drivers: equal arrivals at dst, so the winner is purely
+    # the first-max-wins iteration order.
+    d.new_cell("a", "SLICE", placement=(clb, 0), luts=1, ffs=1)
+    d.new_cell("b", "SLICE", placement=(clb, 4), luts=1, ffs=1)
+    d.new_cell("dst", "SLICE", placement=(clb, 2), ffs=1)
+    d.connect("n1", "a", ["dst"])
+    d.connect("n2", "b", ["dst"])
+    session = IncrementalSta(d, tiny_device)
+    assert session.analyze().critical_path == [("a", None), ("dst", "n1")]
+
+    n1 = d.nets.pop("n1")
+    d.add_net(n1)  # same object, new dict position — no other change
+    got = session.analyze()
+    ref = analyze_reference(d, tiny_device)
+    assert got.critical_path == ref.critical_path == [("b", None), ("dst", "n2")]
+    assert session.stats.cached == 0
+
+
 # -- incremental sessions ------------------------------------------------------
 
 
