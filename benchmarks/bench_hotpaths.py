@@ -28,10 +28,24 @@ absolute seconds — so the gate is meaningful on slower CI machines.
 the workload itself is identical, so quick ratios remain comparable to
 the committed full-mode baseline.
 
+``--vgg`` switches to the VGG-scale workload — VGG-16 synthesized at
+block granularity on the ``ku5p-like`` part (~33 k cells, ~27 k route
+targets) — and benchmarks the *full* P&R hot paths end to end instead
+of microkernels:
+
+* **route** — one complete :class:`repro.route.Router` negotiation
+  (compiled core / structure-of-arrays fast path) vs the retained
+  scalar oracle (``soa=False``).  Routes and result stats are asserted
+  byte-identical before timing.
+* **place** — :func:`repro.place.anneal` (dispatching to the compiled
+  sweep at this size) vs :func:`repro.place.annealer.anneal_scalar`
+  from the same legalized start, bit-identical placements asserted.
+
 Usage::
 
     python benchmarks/bench_hotpaths.py [--quick] [--out BENCH_hotpaths.json]
     python benchmarks/bench_hotpaths.py --quick --check benchmarks/BENCH_hotpaths.json
+    python benchmarks/bench_hotpaths.py --vgg --quick --check benchmarks/BENCH_hotpaths_vgg.json
 """
 
 from __future__ import annotations
@@ -39,17 +53,18 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import pickle
 import sys
 import time
 
 import numpy as np
 
 from repro._util import make_rng
-from repro.cnn import lenet5
+from repro.cnn import lenet5, vgg16
 from repro.fabric import Device, RoutingGraph
 from repro.place import place_design
 from repro.place._annealer_reference import anneal_reference
-from repro.place.annealer import anneal
+from repro.place.annealer import anneal, anneal_scalar
 from repro.place.global_place import global_place
 from repro.place.legalize import legalize
 from repro.place.problem import PlacementProblem
@@ -177,6 +192,81 @@ def bench_place(device, reps, max_moves):
     }
 
 
+def bench_route_vgg(device, design, reps):
+    """One full Router negotiation: compiled/soa fast path vs the
+    retained scalar oracle (``soa=False``), byte-identical results."""
+    from repro.route.native import native_available
+
+    blob = pickle.dumps(design)
+
+    def run(soa):
+        d = pickle.loads(blob)
+        graph = RoutingGraph(device)
+        router = Router(device, graph, seed=SEED, soa=soa)
+        t0 = time.perf_counter()
+        res = router.route(d)
+        elapsed = time.perf_counter() - t0
+        routes = {name: net.routes for name, net in d.nets.items()}
+        stats = (res.routed, res.failed, res.iterations, res.wirelength,
+                 res.overused_nodes)
+        return elapsed, routes, stats
+
+    _t, routes_opt, stats_opt = run(True)
+    _t, routes_ref, stats_ref = run(False)
+    assert routes_opt == routes_ref, "fast route diverged from scalar oracle"
+    assert stats_opt == stats_ref, (stats_opt, stats_ref)
+
+    opt_s = ref_s = float("inf")
+    for _ in range(reps):
+        gc.collect()
+        opt_s = min(opt_s, run(True)[0])
+        gc.collect()
+        ref_s = min(ref_s, run(False)[0])
+    return {
+        "connections": stats_opt[0],
+        "iterations": stats_opt[2],
+        "wirelength": stats_opt[3],
+        "native": native_available(),
+        "opt_s": round(opt_s, 4),
+        "ref_s": round(ref_s, 4),
+        "speedup": round(ref_s / opt_s, 3),
+    }
+
+
+def bench_place_vgg(device, reps, max_moves):
+    """Full-dispatch anneal (compiled sweep at this size) vs the scalar
+    implementation, bit-identical placements asserted."""
+    from repro.place.native import native_available
+
+    synth = synthesize_network(vgg16(), granularity="block", rom_weights=False)
+    problem = PlacementProblem.from_design(synth.top, device)
+    start = legalize(problem, global_place(problem, make_rng(SEED), iters=30))
+
+    sites_opt = start.copy()
+    sites_ref = start.copy()
+    stats_opt = anneal(problem, sites_opt, seed=SEED, max_moves=max_moves)
+    stats_ref = anneal_scalar(problem, sites_ref, seed=SEED, max_moves=max_moves)
+    assert np.array_equal(sites_opt, sites_ref), "dispatch anneal diverged"
+    key = ("moves", "accepted", "initial_cost", "final_cost")
+    assert tuple(getattr(stats_opt, k) for k in key) == tuple(
+        getattr(stats_ref, k) for k in key
+    )
+
+    opt_s, ref_s = _interleaved_min(
+        lambda: anneal(problem, start.copy(), seed=SEED, max_moves=max_moves),
+        lambda: anneal_scalar(problem, start.copy(), seed=SEED, max_moves=max_moves),
+        reps,
+    )
+    return {
+        "cells": problem.n_movable,
+        "moves": stats_opt.moves,
+        "native": native_available(),
+        "opt_s": round(opt_s, 4),
+        "ref_s": round(ref_s, 4),
+        "speedup": round(ref_s / opt_s, 3),
+    }
+
+
 def bench_sta(device, design, reps):
     graph = RoutingGraph(device)
     Router(device, graph, seed=SEED).route(design)
@@ -213,27 +303,51 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="fewer repetitions and a reduced anneal budget")
-    parser.add_argument("--out", default="BENCH_hotpaths.json",
-                        help="where to write the results JSON")
+    parser.add_argument("--vgg", action="store_true",
+                        help="VGG-scale workload: full Router negotiation and "
+                             "full-dispatch anneal vs their scalar oracles")
+    parser.add_argument("--out", default=None,
+                        help="where to write the results JSON (default "
+                             "BENCH_hotpaths.json, or BENCH_hotpaths_vgg.json "
+                             "with --vgg)")
     parser.add_argument("--check", metavar="BASELINE",
                         help="fail if speedups regress >20%% vs this baseline")
     args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = "BENCH_hotpaths_vgg.json" if args.vgg else "BENCH_hotpaths.json"
 
-    # --quick cuts repetitions only; the anneal budget stays at full LeNet
-    # scale so the place ratio measures the same amortization either way.
-    route_reps, place_reps, sta_reps = (3, 1, 1) if args.quick else (20, 5, 3)
+    # --quick cuts repetitions only; the workload stays at full scale so
+    # the ratios measure the same amortization either way.
     max_moves = 400_000
 
-    device, design, pairs = _build_workloads()
-    results = {
-        "schema": 1,
-        "network": "lenet5",
-        "device": device.name,
-        "quick": args.quick,
-        "route": bench_route(device, pairs, route_reps),
-        "place": bench_place(device, place_reps, max_moves),
-        "sta": bench_sta(device, design, sta_reps),
-    }
+    if args.vgg:
+        route_reps, place_reps, sta_reps = (2, 1, 1) if args.quick else (5, 3, 3)
+        device = Device.from_name("ku5p-like")
+        synth = synthesize_network(vgg16(), granularity="block",
+                                   rom_weights=False)
+        design = synth.top
+        place_design(design, device, seed=SEED)
+        results = {
+            "schema": 1,
+            "network": "vgg16",
+            "device": device.name,
+            "quick": args.quick,
+            "route": bench_route_vgg(device, design, route_reps),
+            "place": bench_place_vgg(device, place_reps, max_moves),
+            "sta": bench_sta(device, design, sta_reps),
+        }
+    else:
+        route_reps, place_reps, sta_reps = (3, 1, 1) if args.quick else (20, 5, 3)
+        device, design, pairs = _build_workloads()
+        results = {
+            "schema": 1,
+            "network": "lenet5",
+            "device": device.name,
+            "quick": args.quick,
+            "route": bench_route(device, pairs, route_reps),
+            "place": bench_place(device, place_reps, max_moves),
+            "sta": bench_sta(device, design, sta_reps),
+        }
 
     print(json.dumps(results, indent=2))
     with open(args.out, "w") as fh:

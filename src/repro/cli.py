@@ -35,7 +35,9 @@
 ``run`` and ``build`` accept ``--trace PATH`` (plus ``--trace-format
 {jsonl,chrome}``) to record the flow's span/metric trace: ``jsonl`` is
 the native line-per-event format consumed by ``trace-report``; ``chrome``
-writes a ``chrome://tracing``-loadable trace-event array.
+writes a ``chrome://tracing``-loadable trace-event array.  ``run`` also
+accepts ``--profile PATH``: a per-stage cProfile report (the top
+functions by cumulative time under each top-level flow stage).
 
 All commands accept ``--seed`` and are fully deterministic — including
 ``build --jobs N``, whose parallel results are bit-identical to serial.
@@ -58,6 +60,7 @@ from .cnn import MODEL_CATALOG, get_model, group_components
 from .engine import BuildCache
 from .fabric import Device, PART_CATALOG
 from .obs import ChromeTraceSink, JsonlSink, Tracer, load_events, summarize
+from .profiling import profile_stages
 from .rapidwright import ComponentDatabase, PreImplementedFlow, explore_component
 from .vivado import VivadoFlow
 
@@ -123,6 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="design-rule-check gates inside the pre-implemented "
                             "flow (strict raises on error-or-worse violations)")
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="write a per-stage cProfile report (top functions by "
+             "cumulative time for each top-level flow stage) to PATH",
+    )
     _add_trace_options(p_run)
 
     p_drc = sub.add_parser(
@@ -767,18 +775,26 @@ def main(argv: list[str] | None = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     command = _COMMANDS[args.command]
     trace_path = getattr(args, "trace", None)
+    profile_path = getattr(args, "profile", None)
     try:
-        if not trace_path:
-            return command(args, out)
-        sink = (ChromeTraceSink(trace_path) if args.trace_format == "chrome"
-                else JsonlSink(trace_path))
-        tracer = Tracer(sink)
-        try:
-            with tracer.activate():
-                return command(args, out)
-        finally:
-            tracer.finish()
-            print(f"trace written to {trace_path} ({args.trace_format})", file=out)
+        with profile_stages(profile_path):
+            if not trace_path:
+                rc = command(args, out)
+            else:
+                sink = (ChromeTraceSink(trace_path)
+                        if args.trace_format == "chrome"
+                        else JsonlSink(trace_path))
+                tracer = Tracer(sink)
+                try:
+                    with tracer.activate():
+                        rc = command(args, out)
+                finally:
+                    tracer.finish()
+                    print(f"trace written to {trace_path} "
+                          f"({args.trace_format})", file=out)
+        if profile_path:
+            print(f"per-stage profile written to {profile_path}", file=out)
+        return rc
     except BrokenPipeError:
         # stdout consumer went away (e.g. `repro trace-report ... | head`);
         # silence the interpreter's flush-on-exit complaint and exit clean.

@@ -41,6 +41,7 @@ class RoutingGraph:
 
     device: Device
     capacity: np.ndarray = field(init=False)
+    _path_metrics: dict = field(init=False, repr=False, default_factory=dict)
 
     def __post_init__(self) -> None:
         dev = self.device
@@ -113,22 +114,41 @@ class RoutingGraph:
 
     # -- path metrics ----------------------------------------------------
 
+    def path_metrics(self, path: list[int]) -> tuple[int, int]:
+        """``(tiles_spanned, io_crossings)`` for a node path, memoized.
+
+        Timing analysis and the power model walk the same committed
+        route lists over and over (STA repropagation revisits a net
+        every time its cone is dirtied; the power model re-reads every
+        route per report).  Route lists are never mutated once written
+        onto a net, so the cache is keyed by object identity — the
+        entry keeps a strong reference to the list, which pins its
+        ``id`` for the graph's lifetime and makes the key collision-free.
+        """
+        entry = self._path_metrics.get(id(path))
+        if entry is not None and entry[0] is path:
+            return entry[1], entry[2]
+        nrows = self.device.nrows
+        io_crossings = self.device.io_crossings
+        tiles = 0
+        crossings = 0
+        pc, pr = path[0] // nrows, path[0] % nrows
+        for node in path[1:]:
+            c, r = node // nrows, node % nrows
+            tiles += abs(c - pc) + abs(r - pr)
+            if c != pc:
+                crossings += io_crossings(pc, c)
+            pc, pr = c, r
+        self._path_metrics[id(path)] = (path, tiles, crossings)
+        return tiles, crossings
+
     def path_tiles(self, path: list[int]) -> int:
         """Total tiles spanned by a node path (sum of per-edge spans)."""
-        total = 0
-        for a, b in zip(path, path[1:]):
-            (ca, ra), (cb, rb) = self.node_xy(a), self.node_xy(b)
-            total += abs(ca - cb) + abs(ra - rb)
-        return total
+        return self.path_metrics(path)[0]
 
     def path_io_crossings(self, path: list[int]) -> int:
         """I/O columns crossed along a node path (discontinuity penalty)."""
-        total = 0
-        for a, b in zip(path, path[1:]):
-            ca, _ = self.node_xy(a)
-            cb, _ = self.node_xy(b)
-            total += self.device.io_crossings(ca, cb)
-        return total
+        return self.path_metrics(path)[1]
 
     def lower_bound_cost(self, a: int, b: int) -> float:
         """Admissible A* heuristic: cheapest conceivable cost between nodes."""

@@ -1,0 +1,284 @@
+/* Native move loop for simulated-annealing detailed placement.
+ *
+ * Line-by-line port of the scalar loop in annealer.py (anneal_scalar):
+ * same incremental bounding-box maintenance, same merge-walk over the
+ * per-cell net lists for swaps, same Metropolis test, same checkpoint
+ * chain.  Every floating-point operation is performed on IEEE doubles
+ * in the exact order of the Python source and exp() resolves to the
+ * same libm the CPython math module wraps, so the accept/reject stream
+ * and all costs are bit-identical to the Python implementations — the
+ * property suites assert this, and the build (repro/place/native.py)
+ * disables FP contraction so the compiler cannot fuse an a*b+c into an
+ * fma and perturb low bits.
+ *
+ * Compiled on demand with the system C compiler and loaded via ctypes;
+ * absent a compiler the callers fall back to the pure-Python paths.
+ */
+
+#include <math.h>
+#include <stdint.h>
+#include <string.h>
+
+#define QUAD_K 120.0
+
+/* Rescan one net's bounding box from its pins plus fixed extremes.
+ * Mirrors the tail-pin loop of the Python rescans: head seeds the box,
+ * tails use if/elif comparisons, fixed extremes fold in last. */
+static inline void net_box(
+    int64_t k, const int64_t *net_offs, const int64_t *net_pins,
+    const double *fx0, const double *fx1, const double *fy0, const double *fy1,
+    const double *xs, const double *ys,
+    double *px0, double *px1, double *py0, double *py1)
+{
+    int64_t a = net_offs[k], b = net_offs[k + 1];
+    int64_t p = net_pins[a];
+    double x0 = xs[p], x1 = x0, y0 = ys[p], y1 = y0;
+    for (int64_t q = a + 1; q < b; q++) {
+        p = net_pins[q];
+        double x = xs[p], y = ys[p];
+        if (x < x0) x0 = x; else if (x > x1) x1 = x;
+        if (y < y0) y0 = y; else if (y > y1) y1 = y;
+    }
+    double f = fx0[k];
+    if (f < x0) x0 = f;
+    f = fx1[k];
+    if (f > x1) x1 = f;
+    f = fy0[k];
+    if (f < y0) y0 = f;
+    f = fy1[k];
+    if (f > y1) y1 = f;
+    *px0 = x0; *px1 = x1; *py0 = y0; *py1 = y1;
+}
+
+/* out_i: [accepted, bbox_fast, bbox_rescan, n_checkpoints]
+ * out_d: [running, best_cost] */
+void anneal_sweep(
+    int64_t n, int64_t budget, int64_t nrows, int64_t nsites,
+    double t0, double alpha, int64_t checkpoint_every,
+    double *xs, double *ys,
+    const int64_t *net_offs, const int64_t *net_pins,
+    const double *fx0, const double *fx1, const double *fy0, const double *fy1,
+    const double *net_w, const uint8_t *net_two, const int64_t *net_psum,
+    double *bx0, double *bx1, double *by0, double *by1, double *cost,
+    const int64_t *cell_net_offs, const int64_t *cell_nets,
+    int64_t *occ,
+    const int64_t *cell_t,
+    const int64_t *tcols_offs, const int64_t *tcols_flat,
+    const int64_t *trmin, const int64_t *trmax,
+    const uint8_t *grids,
+    const int64_t *pool_offs, const int64_t *pool_flat,
+    const int64_t *cell_picks, const double *uniforms,
+    const double *pool_picks, const double *hop_picks,
+    const double *dxs, const double *dys,
+    double running_in,
+    double *best_xs, double *best_ys,
+    int64_t *affected, /* workspace, capacity >= 2 * max cell degree */
+    int64_t *ck_steps, double *ck_cost, double *ck_temp,
+    int64_t *out_i, double *out_d)
+{
+    double temperature = t0;
+    double running = running_in;
+    double best_cost = running_in;
+    int64_t accepted = 0, bbox_fast = 0, bbox_rescan = 0, nck = 0;
+    int64_t next_checkpoint = 0;
+    const int64_t BIG = (int64_t)1 << 60;
+
+    memcpy(best_xs, xs, (size_t)n * sizeof(double));
+    memcpy(best_ys, ys, (size_t)n * sizeof(double));
+
+    for (int64_t step = 0; step < budget; step++) {
+        int64_t i = cell_picks[step];
+        int64_t oxi = (int64_t)xs[i];
+        int64_t oyi = (int64_t)ys[i];
+        int64_t t = cell_t[i];
+        int64_t tcol, trow, tkey;
+        if (pool_picks[step] < 0.05) {
+            int64_t npool = pool_offs[t + 1] - pool_offs[t];
+            int64_t idx = ((int64_t)(hop_picks[step] * (double)npool)) % npool;
+            const int64_t *s = pool_flat + 2 * (pool_offs[t] + idx);
+            tcol = s[0];
+            trow = s[1];
+            tkey = tcol * nrows + trow;
+        } else {
+            double want_col = (double)oxi + dxs[step];
+            const int64_t *cols = tcols_flat + tcols_offs[t];
+            int64_t nc = tcols_offs[t + 1] - tcols_offs[t];
+            /* bisect_left over the sorted columns (ints compare exactly
+             * as doubles), then snap to the nearer neighbour */
+            int64_t lo = 0, hi = nc;
+            while (lo < hi) {
+                int64_t mid = (lo + hi) >> 1;
+                if ((double)cols[mid] < want_col) lo = mid + 1;
+                else hi = mid;
+            }
+            int64_t k = lo;
+            if (k >= nc) k = nc - 1;
+            else if (k > 0 &&
+                     want_col - (double)cols[k - 1] < (double)cols[k] - want_col)
+                k -= 1;
+            tcol = cols[k];
+            double want_row = (double)oyi + dys[step];
+            double rlo = (double)trmin[t], rhi = (double)trmax[t];
+            trow = (int64_t)(want_row < rlo ? rlo : (want_row > rhi ? rhi : want_row));
+            tkey = tcol * nrows + trow;
+            if (!grids[t * nsites + tkey]) {
+                temperature *= alpha;
+                continue;
+            }
+        }
+        if (tcol == oxi && trow == oyi) {
+            temperature *= alpha;
+            continue;
+        }
+        int64_t j = occ[tkey];
+
+        double oxf = xs[i], oyf = ys[i];
+        double nxf = (double)tcol, nyf = (double)trow;
+        xs[i] = nxf;
+        ys[i] = nyf;
+        double before = 0.0, after = 0.0;
+        int64_t na = 0;
+        if (j < 0) {
+            /* move into an empty site: only cell i's pin moves */
+            int64_t a0 = cell_net_offs[i], a1 = cell_net_offs[i + 1];
+            for (int64_t q = a0; q < a1; q++) {
+                int64_t k = cell_nets[q];
+                affected[na++] = k;
+                before += cost[k];
+                double x0, x1, y0, y1;
+                if (net_two[k]) {
+                    bbox_fast++;
+                    int64_t o = net_psum[k] - i;
+                    double x = xs[o], y = ys[o];
+                    if (x < nxf) { x0 = x; x1 = nxf; } else { x0 = nxf; x1 = x; }
+                    if (y < nyf) { y0 = y; y1 = nyf; } else { y0 = nyf; y1 = y; }
+                } else {
+                    x0 = bx0[k]; x1 = bx1[k]; y0 = by0[k]; y1 = by1[k];
+                    if (x0 < oxf && oxf < x1 && y0 < oyf && oyf < y1) {
+                        bbox_fast++;
+                        if (nxf < x0) x0 = nxf;
+                        else if (nxf > x1) x1 = nxf;
+                        if (nyf < y0) y0 = nyf;
+                        else if (nyf > y1) y1 = nyf;
+                    } else {
+                        bbox_rescan++;
+                        net_box(k, net_offs, net_pins, fx0, fx1, fy0, fy1,
+                                xs, ys, &x0, &x1, &y0, &y1);
+                    }
+                }
+                double hpwl = (x1 - x0) + (y1 - y0);
+                after += (hpwl + hpwl * hpwl / QUAD_K) * net_w[k];
+            }
+        } else {
+            /* swap: merge-walk the two ascending net lists; a net shared
+             * by both cells permutes pins in place — cost unchanged */
+            xs[j] = oxf;
+            ys[j] = oyf;
+            int64_t a = cell_net_offs[i] + 1, la = cell_net_offs[i + 1];
+            int64_t b = cell_net_offs[j] + 1, lb = cell_net_offs[j + 1];
+            int64_t u = a - 1 < la ? cell_nets[a - 1] : BIG;
+            int64_t v = b - 1 < lb ? cell_nets[b - 1] : BIG;
+            for (;;) {
+                int64_t k, m;
+                double mx, my, pox, poy;
+                if (u < v) {
+                    k = u;
+                    u = a < la ? cell_nets[a] : BIG;
+                    a++;
+                    m = i; mx = nxf; my = nyf; pox = oxf; poy = oyf;
+                } else if (v < u) {
+                    k = v;
+                    v = b < lb ? cell_nets[b] : BIG;
+                    b++;
+                    m = j; mx = oxf; my = oyf; pox = nxf; poy = nyf;
+                } else if (u == BIG) {
+                    break;
+                } else {
+                    k = u;
+                    u = a < la ? cell_nets[a] : BIG;
+                    a++;
+                    v = b < lb ? cell_nets[b] : BIG;
+                    b++;
+                    affected[na++] = k;
+                    double ck = cost[k];
+                    before += ck;
+                    after += ck;
+                    continue;
+                }
+                affected[na++] = k;
+                before += cost[k];
+                double x0, x1, y0, y1;
+                if (net_two[k]) {
+                    bbox_fast++;
+                    int64_t o = net_psum[k] - m;
+                    double x = xs[o], y = ys[o];
+                    if (x < mx) { x0 = x; x1 = mx; } else { x0 = mx; x1 = x; }
+                    if (y < my) { y0 = y; y1 = my; } else { y0 = my; y1 = y; }
+                } else {
+                    x0 = bx0[k]; x1 = bx1[k]; y0 = by0[k]; y1 = by1[k];
+                    if (x0 < pox && pox < x1 && y0 < poy && poy < y1) {
+                        bbox_fast++;
+                        if (mx < x0) x0 = mx;
+                        else if (mx > x1) x1 = mx;
+                        if (my < y0) y0 = my;
+                        else if (my > y1) y1 = my;
+                    } else {
+                        bbox_rescan++;
+                        net_box(k, net_offs, net_pins, fx0, fx1, fy0, fy1,
+                                xs, ys, &x0, &x1, &y0, &y1);
+                    }
+                }
+                double hpwl = (x1 - x0) + (y1 - y0);
+                after += (hpwl + hpwl * hpwl / QUAD_K) * net_w[k];
+            }
+        }
+        double delta = after - before;
+        if (delta <= 0.0 || uniforms[step] < exp(-delta / temperature)) {
+            accepted++;
+            running += delta;
+            for (int64_t q = 0; q < na; q++) {
+                int64_t k = affected[q];
+                double x0, x1, y0, y1;
+                net_box(k, net_offs, net_pins, fx0, fx1, fy0, fy1,
+                        xs, ys, &x0, &x1, &y0, &y1);
+                bx0[k] = x0; bx1[k] = x1; by0[k] = y0; by1[k] = y1;
+                double hpwl = (x1 - x0) + (y1 - y0);
+                cost[k] = (hpwl + hpwl * hpwl / QUAD_K) * net_w[k];
+            }
+            occ[tkey] = i;
+            int64_t okey = oxi * nrows + oyi;
+            if (j >= 0) {
+                occ[okey] = j;
+            } else {
+                occ[okey] = -1;
+            }
+        } else {
+            xs[i] = oxf;
+            ys[i] = oyf;
+            if (j >= 0) {
+                xs[j] = nxf;
+                ys[j] = nyf;
+            }
+        }
+        temperature *= alpha;
+        if (step == next_checkpoint) {
+            next_checkpoint += checkpoint_every;
+            if (running < best_cost) {
+                best_cost = running;
+                memcpy(best_xs, xs, (size_t)n * sizeof(double));
+                memcpy(best_ys, ys, (size_t)n * sizeof(double));
+            }
+            ck_steps[nck] = step;
+            ck_cost[nck] = running;
+            ck_temp[nck] = temperature;
+            nck++;
+        }
+    }
+
+    out_i[0] = accepted;
+    out_i[1] = bbox_fast;
+    out_i[2] = bbox_rescan;
+    out_i[3] = nck;
+    out_d[0] = running;
+    out_d[1] = best_cost;
+}

@@ -35,7 +35,7 @@ from .._util import make_rng
 from ..obs.span import incr, sample
 from .problem import PlacementProblem
 
-__all__ = ["anneal", "AnnealStats"]
+__all__ = ["anneal", "anneal_scalar", "AnnealStats"]
 
 
 class AnnealStats:
@@ -140,7 +140,129 @@ def _batch_boxes(nets, fixed_lo, fixed_hi, xs, ys):
     return x0.tolist(), x1.tolist(), y0.tolist(), y1.tolist(), cost.tolist()
 
 
+def _clump_pass(nets, nets_of, cost, xs, ys, ctypes,
+                type_cols, type_rows, type_sets, clump_passes, final_cost, n):
+    """Directed post-pass: clump the longest nets.
+
+    Random-walk annealing reduces total wirelength but rarely rescues an
+    individual 300-tile net; here the outlier pins of the worst nets are
+    pulled toward their net centroid when that lowers the (quadratic)
+    objective.  Shared verbatim by the scalar and batched annealers (the
+    reference keeps its own copy); mutates ``xs``/``ys``/``cost`` and
+    returns the updated final cost.
+    """
+    from bisect import bisect_left
+
+    occupant: dict[tuple[int, int], int] = {}
+    for i in range(n):
+        occupant[(int(xs[i]), int(ys[i]))] = i
+    for _ in range(clump_passes):
+        order = sorted(range(len(nets)), key=lambda k: -cost[k])
+        changed = 0
+        for k in order[: max(1, len(nets) // 50)]:
+            pins, fixed, _w = nets[k]
+            cx = sorted(xs[i] for i in pins)[len(pins) // 2]
+            cy = sorted(ys[i] for i in pins)[len(pins) // 2]
+            for i in pins:
+                if abs(xs[i] - cx) + abs(ys[i] - cy) < 16:
+                    continue
+                ct = ctypes[i]
+                cols = type_cols[ct]
+                kk = bisect_left(cols, cx)
+                if kk >= len(cols):
+                    kk = len(cols) - 1
+                elif kk > 0 and abs(cols[kk - 1] - cx) < abs(cols[kk] - cx):
+                    kk -= 1
+                rmin, rmax = type_rows[ct]
+                tcol = cols[kk]
+                trow = int(min(max(cy, rmin), rmax))
+                if (tcol, trow) not in type_sets[ct]:
+                    continue
+                old = (int(xs[i]), int(ys[i]))
+                if (tcol, trow) == old:
+                    continue
+                j = occupant.get((tcol, trow))
+                affected = nets_of[i] if j is None else sorted(set(nets_of[i] + nets_of[j]))
+                before = sum(cost[a] for a in affected)
+                xs[i], ys[i] = float(tcol), float(trow)
+                if j is not None:
+                    xs[j], ys[j] = float(old[0]), float(old[1])
+                new_costs = [
+                    _net_cost(nets[a][0], nets[a][1], xs, ys, nets[a][2]) for a in affected
+                ]
+                delta = sum(new_costs) - before
+                if delta < 0:
+                    for a, ca in zip(affected, new_costs):
+                        cost[a] = ca
+                    occupant[(tcol, trow)] = i
+                    if j is not None:
+                        occupant[old] = j
+                    else:
+                        del occupant[old]
+                    final_cost += delta
+                    changed += 1
+                else:
+                    xs[i], ys[i] = float(old[0]), float(old[1])
+                    if j is not None:
+                        xs[j], ys[j] = float(tcol), float(trow)
+        if not changed:
+            break
+    return final_cost
+
+
+#: Cell count above which :func:`anneal` dispatches to the batched
+#: implementation.  Below it the scalar incremental-bbox path wins (less
+#: vectorization overhead) and every existing small-design flow keeps
+#: its exact behaviour; both paths are bit-identical to the reference.
+_BATCH_MIN_CELLS = 6000
+
+
 def anneal(
+    problem: PlacementProblem,
+    sites: np.ndarray,
+    *,
+    seed: int | np.random.Generator = 0,
+    moves_per_cell: int = 40,
+    max_moves: int = 400_000,
+    max_pins: int = 64,
+    t_end_frac: float = 0.02,
+    clump_passes: int = 4,
+    batch: bool | None = None,
+) -> AnnealStats:
+    """Refine *sites* in place; returns statistics.
+
+    Dispatches between the scalar incremental-bbox implementation, the
+    block-vectorized one in :mod:`repro.place.annealer_batch`, and the
+    compiled sweep in :mod:`repro.place.native` by problem size
+    (``batch=True``/``False`` forces the python paths).  All produce
+    bit-identical results.
+    """
+    if batch is None:
+        batch = problem.n_movable >= _BATCH_MIN_CELLS
+    if batch:
+        from .native import anneal_native, native_available
+
+        if native_available():
+            return anneal_native(
+                problem, sites, seed=seed, moves_per_cell=moves_per_cell,
+                max_moves=max_moves, max_pins=max_pins,
+                t_end_frac=t_end_frac, clump_passes=clump_passes,
+            )
+        from .annealer_batch import anneal_batched
+
+        return anneal_batched(
+            problem, sites, seed=seed, moves_per_cell=moves_per_cell,
+            max_moves=max_moves, max_pins=max_pins,
+            t_end_frac=t_end_frac, clump_passes=clump_passes,
+        )
+    return anneal_scalar(
+        problem, sites, seed=seed, moves_per_cell=moves_per_cell,
+        max_moves=max_moves, max_pins=max_pins,
+        t_end_frac=t_end_frac, clump_passes=clump_passes,
+    )
+
+
+def anneal_scalar(
     problem: PlacementProblem,
     sites: np.ndarray,
     *,
@@ -531,64 +653,10 @@ def anneal(
     else:
         final_cost = running
 
-    # Directed post-pass: clump the longest nets.  Random-walk annealing
-    # reduces total wirelength but rarely rescues an individual 300-tile
-    # net; here the outlier pins of the worst nets are pulled toward
-    # their net centroid when that lowers the (quadratic) objective.
-    occupant = {}
-    for i in range(n):
-        occupant[(int(xs[i]), int(ys[i]))] = i
-    for _ in range(clump_passes):
-        order = sorted(range(len(nets)), key=lambda k: -cost[k])
-        changed = 0
-        for k in order[: max(1, len(nets) // 50)]:
-            pins, fixed, _w = nets[k]
-            cx = sorted(xs[i] for i in pins)[len(pins) // 2]
-            cy = sorted(ys[i] for i in pins)[len(pins) // 2]
-            for i in pins:
-                if abs(xs[i] - cx) + abs(ys[i] - cy) < 16:
-                    continue
-                ct = ctypes[i]
-                cols = type_cols[ct]
-                kk = bisect_left(cols, cx)
-                if kk >= len(cols):
-                    kk = len(cols) - 1
-                elif kk > 0 and abs(cols[kk - 1] - cx) < abs(cols[kk] - cx):
-                    kk -= 1
-                rmin, rmax = type_rows[ct]
-                tcol = cols[kk]
-                trow = int(min(max(cy, rmin), rmax))
-                if (tcol, trow) not in type_sets[ct]:
-                    continue
-                old = (int(xs[i]), int(ys[i]))
-                if (tcol, trow) == old:
-                    continue
-                j = occupant.get((tcol, trow))
-                affected = nets_of[i] if j is None else sorted(set(nets_of[i] + nets_of[j]))
-                before = sum(cost[a] for a in affected)
-                xs[i], ys[i] = float(tcol), float(trow)
-                if j is not None:
-                    xs[j], ys[j] = float(old[0]), float(old[1])
-                new_costs = [
-                    _net_cost(nets[a][0], nets[a][1], xs, ys, nets[a][2]) for a in affected
-                ]
-                delta = sum(new_costs) - before
-                if delta < 0:
-                    for a, ca in zip(affected, new_costs):
-                        cost[a] = ca
-                    occupant[(tcol, trow)] = i
-                    if j is not None:
-                        occupant[old] = j
-                    else:
-                        del occupant[old]
-                    final_cost += delta
-                    changed += 1
-                else:
-                    xs[i], ys[i] = float(old[0]), float(old[1])
-                    if j is not None:
-                        xs[j], ys[j] = float(tcol), float(trow)
-        if not changed:
-            break
+    final_cost = _clump_pass(
+        nets, nets_of, cost, xs, ys, ctypes,
+        type_cols, type_rows, type_sets, clump_passes, final_cost, n,
+    )
 
     for i in range(n):
         sites[i, 0] = int(xs[i])

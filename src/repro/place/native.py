@@ -1,0 +1,298 @@
+"""Native annealer core: on-demand C build behind a ctypes binding.
+
+The hottest loop in the repo — the placer's Metropolis sweep — is a
+line-by-line C port (``_anneal_core.c``) of the scalar implementation
+in :mod:`repro.place.annealer`.  It is compiled once per source hash
+with the system C compiler (``-O2 -ffp-contract=off``, no fast-math, so
+IEEE double semantics match CPython exactly) and cached under the
+user's cache directory.  Everything crossing the boundary is a flat
+numpy array: positions, net CSR, per-type site geometry, the
+presampled RNG streams, and the occupancy grid — the same
+structure-of-arrays views the batched annealer builds.
+
+The binding is strictly optional: no compiler, a failed build, or
+``REPRO_NATIVE=0`` all degrade to the pure-Python batched/scalar paths,
+which produce bit-identical results (the property suites assert all
+three agree).
+"""
+
+from __future__ import annotations
+
+import ctypes
+from pathlib import Path
+
+import numpy as np
+
+from .._native import build_library
+from .._util import make_rng
+from ..obs.span import incr, sample
+from .annealer import AnnealStats, _batch_boxes, _clump_pass
+from .problem import PlacementProblem
+
+__all__ = ["anneal_native", "native_available"]
+
+_SOURCE = Path(__file__).with_name("_anneal_core.c")
+
+#: memoized build result: unset / CDLL function / None (unavailable)
+_CORE: list = []
+
+
+def _core():
+    if not _CORE:
+        lib = build_library(_SOURCE, "anneal_core")
+        if lib is None:
+            _CORE.append(None)
+        else:
+            fn = lib.anneal_sweep
+            I = ctypes.c_int64
+            D = ctypes.c_double
+            P = ctypes.c_void_p
+            fn.restype = None
+            fn.argtypes = (
+                [I, I, I, I, D, D, I]       # n, budget, nrows, nsites, t0, alpha, ckpt
+                + [P] * 2                    # xs, ys
+                + [P] * 2                    # net_offs, net_pins
+                + [P] * 4                    # fx0, fx1, fy0, fy1
+                + [P] * 3                    # net_w, net_two, net_psum
+                + [P] * 5                    # bx0, bx1, by0, by1, cost
+                + [P] * 2                    # cell_net_offs, cell_nets
+                + [P] * 2                    # occ, cell_t
+                + [P] * 2                    # tcols_offs, tcols_flat
+                + [P] * 2                    # trmin, trmax
+                + [P] * 3                    # grids, pool_offs, pool_flat
+                + [P] * 6                    # cell_picks, uniforms, pool, hop, dxs, dys
+                + [D]                        # running_in
+                + [P] * 2                    # best_xs, best_ys
+                + [P]                        # affected workspace
+                + [P] * 3                    # ck_steps, ck_cost, ck_temp
+                + [P] * 2                    # out_i, out_d
+            )
+            _CORE.append(fn)
+    return _CORE[0]
+
+
+def native_available() -> bool:
+    """True when the C core compiled (or was cached) and loaded."""
+    return _core() is not None
+
+
+def _ptr(a: np.ndarray) -> ctypes.c_void_p:
+    return ctypes.c_void_p(a.ctypes.data)
+
+
+def anneal_native(
+    problem: PlacementProblem,
+    sites: np.ndarray,
+    *,
+    seed: int | np.random.Generator = 0,
+    moves_per_cell: int = 40,
+    max_moves: int = 400_000,
+    max_pins: int = 64,
+    t_end_frac: float = 0.02,
+    clump_passes: int = 4,
+) -> AnnealStats:
+    """Refine *sites* in place via the C sweep; returns statistics.
+
+    Drop-in for :func:`repro.place.annealer.anneal_scalar` with
+    bit-identical results.  Raises ``RuntimeError`` if the native core
+    is unavailable — callers dispatch through
+    :func:`repro.place.annealer.anneal`, which checks first.
+    """
+    fn = _core()
+    if fn is None:
+        raise RuntimeError("native annealer core unavailable")
+    rng = make_rng(seed)
+    n = problem.n_movable
+    if n == 0:
+        return AnnealStats(0, 0, 0.0, 0.0)
+
+    xs = sites[:, 0].astype(float).tolist()
+    ys = sites[:, 1].astype(float).tolist()
+
+    nets: list[tuple[list[int], list[tuple[float, float]], float]] = []
+    nets_of: list[list[int]] = [[] for _ in range(n)]
+    for net in problem.nets:
+        if len(net.movable) + net.fixed.shape[0] > max_pins:
+            continue
+        pins = [int(i) for i in net.movable]
+        fixed = [(float(a), float(b)) for a, b in net.fixed]
+        idx = len(nets)
+        nets.append((pins, fixed, net.weight))
+        for i in pins:
+            nets_of[i].append(idx)
+
+    if not nets:
+        return AnnealStats(0, 0, 0.0, 0.0)
+    n_nets = len(nets)
+
+    fixed_lo = np.full((n_nets, 2), np.inf)
+    fixed_hi = np.full((n_nets, 2), -np.inf)
+    for k, (_pins, fixed, _w) in enumerate(nets):
+        if fixed:
+            fa = np.asarray(fixed)
+            fixed_lo[k] = fa.min(axis=0)
+            fixed_hi[k] = fa.max(axis=0)
+
+    bx0, bx1, by0, by1, cost = _batch_boxes(nets, fixed_lo, fixed_hi, xs, ys)
+    initial_cost = sum(cost)
+
+    ctypes_ = problem.ctypes
+    type_cols: dict[str, list[int]] = {}
+    type_rows: dict[str, tuple[int, int]] = {}
+    type_sets: dict[str, set[tuple[int, int]]] = {}
+    for ct in set(ctypes_):
+        pool = problem.site_pools[ct]
+        type_cols[ct] = sorted(set(int(c) for c in pool[:, 0]))
+        type_rows[ct] = (int(pool[:, 1].min()), int(pool[:, 1].max()))
+        type_sets[ct] = {(int(c), int(r)) for c, r in pool}
+
+    budget = min(max_moves, moves_per_cell * n)
+    if budget <= 0:
+        return AnnealStats(0, 0, initial_cost, initial_cost)
+
+    t0 = max(0.5, 0.12 * initial_cost / max(1, n_nets))
+    t_end = t0 * t_end_frac
+    alpha = (t_end / t0) ** (1.0 / budget)
+
+    cell_picks = np.ascontiguousarray(rng.integers(0, n, size=budget), dtype=np.int64)
+    uniforms = rng.random(size=budget)
+    pool_picks = rng.random(size=budget)
+    offset_picks = rng.random(size=(budget, 2))
+    # Independent pool index for the global-hop branch, drawn after every
+    # other stream so the non-hop draws above are unchanged.
+    hop_picks = rng.random(size=budget)
+
+    c0b, r0b, c1b, r1b = problem.bounds()
+    w_max = max(8.0, max(c1b - c0b, r1b - r0b))
+    w_min = 6.0
+    windows = np.maximum(
+        w_min, w_max * (1.0 - np.arange(budget, dtype=np.float64) / budget)
+    )
+    dxs = np.ascontiguousarray((offset_picks[:, 0] * 2.0 - 1.0) * windows)
+    dys = np.ascontiguousarray((offset_picks[:, 1] * 2.0 - 1.0) * windows)
+
+    # --- flat structure-of-arrays marshalling for the C core ----------
+    nrows_dev = problem.device.nrows
+    nsites = problem.device.ncols * nrows_dev
+    xs_a = np.asarray(xs, dtype=np.float64)
+    ys_a = np.asarray(ys, dtype=np.float64)
+
+    pin_counts = np.array([len(p) for p, _f, _w in nets], dtype=np.int64)
+    net_offs = np.concatenate(([0], np.cumsum(pin_counts))).astype(np.int64)
+    net_pins = np.fromiter(
+        (i for p, _f, _w in nets for i in p), dtype=np.int64,
+        count=int(pin_counts.sum()))
+    deg = np.array([len(l) for l in nets_of], dtype=np.int64)
+    cell_net_offs = np.concatenate(([0], np.cumsum(deg))).astype(np.int64)
+    cell_nets = np.fromiter(
+        (k for l in nets_of for k in l), dtype=np.int64, count=int(deg.sum()))
+    max_deg = int(deg.max()) if n else 0
+    net_w = np.array([w for _p, _f, w in nets], dtype=np.float64)
+    net_two = np.array(
+        [len(p) == 2 and not f for p, f, _w in nets], dtype=np.uint8)
+    net_psum = np.array(
+        [p[0] + p[1] if (len(p) == 2 and not f) else 0 for p, f, _w in nets],
+        dtype=np.int64)
+    fx0 = np.ascontiguousarray(fixed_lo[:, 0])
+    fy0 = np.ascontiguousarray(fixed_lo[:, 1])
+    fx1 = np.ascontiguousarray(fixed_hi[:, 0])
+    fy1 = np.ascontiguousarray(fixed_hi[:, 1])
+    bx0_a = np.asarray(bx0, dtype=np.float64)
+    bx1_a = np.asarray(bx1, dtype=np.float64)
+    by0_a = np.asarray(by0, dtype=np.float64)
+    by1_a = np.asarray(by1, dtype=np.float64)
+    cost_a = np.asarray(cost, dtype=np.float64)
+
+    occ = np.full(nsites, -1, dtype=np.int64)
+    occ[xs_a.astype(np.int64) * nrows_dev + ys_a.astype(np.int64)] = np.arange(n)
+
+    tmap = {ct: t for t, ct in enumerate(sorted(set(ctypes_)))}
+    ntypes = len(tmap)
+    cell_t = np.array([tmap[ct] for ct in ctypes_], dtype=np.int64)
+    tcols_offs = np.zeros(ntypes + 1, dtype=np.int64)
+    trmin = np.zeros(ntypes, dtype=np.int64)
+    trmax = np.zeros(ntypes, dtype=np.int64)
+    pool_offs = np.zeros(ntypes + 1, dtype=np.int64)
+    cols_parts = [None] * ntypes
+    pool_parts = [None] * ntypes
+    grids = np.zeros((ntypes, nsites), dtype=np.uint8)
+    for ct, t in tmap.items():
+        cols_parts[t] = np.asarray(type_cols[ct], dtype=np.int64)
+        trmin[t], trmax[t] = type_rows[ct]
+        pool = np.ascontiguousarray(problem.site_pools[ct], dtype=np.int64)
+        pool_parts[t] = pool.reshape(-1)
+        grids[t][pool[:, 0] * nrows_dev + pool[:, 1]] = 1
+    for t in range(ntypes):
+        tcols_offs[t + 1] = tcols_offs[t] + cols_parts[t].shape[0]
+        pool_offs[t + 1] = pool_offs[t] + pool_parts[t].shape[0] // 2
+    tcols_flat = np.concatenate(cols_parts)
+    pool_flat = np.concatenate(pool_parts)
+    grids = np.ascontiguousarray(grids.reshape(-1))
+
+    checkpoint_every = max(1, budget // 32)
+    n_ck_cap = budget // checkpoint_every + 2
+    best_xs = np.empty(n, dtype=np.float64)
+    best_ys = np.empty(n, dtype=np.float64)
+    affected = np.empty(2 * max_deg + 8, dtype=np.int64)
+    ck_steps = np.zeros(n_ck_cap, dtype=np.int64)
+    ck_cost = np.zeros(n_ck_cap, dtype=np.float64)
+    ck_temp = np.zeros(n_ck_cap, dtype=np.float64)
+    out_i = np.zeros(4, dtype=np.int64)
+    out_d = np.zeros(2, dtype=np.float64)
+
+    fn(
+        n, budget, nrows_dev, nsites,
+        t0, alpha, checkpoint_every,
+        _ptr(xs_a), _ptr(ys_a),
+        _ptr(net_offs), _ptr(net_pins),
+        _ptr(fx0), _ptr(fx1), _ptr(fy0), _ptr(fy1),
+        _ptr(net_w), _ptr(net_two), _ptr(net_psum),
+        _ptr(bx0_a), _ptr(bx1_a), _ptr(by0_a), _ptr(by1_a), _ptr(cost_a),
+        _ptr(cell_net_offs), _ptr(cell_nets),
+        _ptr(occ), _ptr(cell_t),
+        _ptr(tcols_offs), _ptr(tcols_flat),
+        _ptr(trmin), _ptr(trmax),
+        _ptr(grids), _ptr(pool_offs), _ptr(pool_flat),
+        _ptr(cell_picks), _ptr(uniforms), _ptr(pool_picks), _ptr(hop_picks),
+        _ptr(dxs), _ptr(dys),
+        initial_cost,
+        _ptr(best_xs), _ptr(best_ys),
+        _ptr(affected),
+        _ptr(ck_steps), _ptr(ck_cost), _ptr(ck_temp),
+        _ptr(out_i), _ptr(out_d),
+    )
+
+    accepted = int(out_i[0])
+    running = float(out_d[0])
+    best_cost = float(out_d[1])
+    for q in range(int(out_i[3])):
+        sample("place.cost", float(ck_cost[q]), step=int(ck_steps[q]))
+        sample("place.temperature", float(ck_temp[q]), step=int(ck_steps[q]))
+
+    if running > best_cost:
+        xs = best_xs.tolist()
+        ys = best_ys.tolist()
+        final_cost = best_cost
+        # the cost cache tracked the *final* walk, not the restored best
+        # state — recompute before the clump pass reads it
+        _x0, _x1, _y0, _y1, cost = _batch_boxes(nets, fixed_lo, fixed_hi, xs, ys)
+    else:
+        xs = xs_a.tolist()
+        ys = ys_a.tolist()
+        final_cost = running
+        cost = cost_a.tolist()
+
+    final_cost = _clump_pass(
+        nets, nets_of, cost, xs, ys, ctypes_,
+        type_cols, type_rows, type_sets, clump_passes, final_cost, n,
+    )
+
+    for i in range(n):
+        sites[i, 0] = int(xs[i])
+        sites[i, 1] = int(ys[i])
+    incr("place.moves", budget)
+    incr("place.accepted", accepted)
+    incr("place.bbox.fast", int(out_i[1]))
+    incr("place.bbox.rescan", int(out_i[2]))
+    sample("place.cost", min(final_cost, initial_cost))
+    return AnnealStats(budget, accepted, initial_cost, min(final_cost, initial_cost))

@@ -1,0 +1,101 @@
+"""Per-stage cProfile harness behind ``repro run --profile PATH``.
+
+A :class:`StageProfiler` registers as a stage observer on
+:data:`repro._util._STAGE_OBSERVERS` and keeps one accumulating
+:class:`cProfile.Profile` per *top-level* flow stage (``synth``,
+``place``, ``route``, ``stitch``, ...).  Sub-stages — names containing
+``/``, e.g. ``route/iterate`` — run while their top-level stage's
+profiler is already active and are attributed to it; cProfile cannot
+nest two enabled profilers, so the depth counter only switches
+profilers at the outermost stage boundary.  A stage that recurs (one
+profile per pre-implemented component build) keeps accumulating into
+the same profiler, so the report shows the stage's whole-run hot
+functions.
+
+The report written to *path* is plain text: one section per stage in
+first-entry order, each with the stage's profiled wall time and the
+top functions by cumulative time.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from contextlib import contextmanager
+from io import StringIO
+
+from ._util import _STAGE_OBSERVERS
+
+__all__ = ["StageProfiler", "profile_stages"]
+
+
+class StageProfiler:
+    """Stage observer collecting one cProfile per top-level stage."""
+
+    def __init__(self) -> None:
+        self._profiles: dict[str, cProfile.Profile] = {}
+        self._order: list[str] = []
+        self._stack: list[str] = []
+        self._active: cProfile.Profile | None = None
+
+    # -- observer hooks (called by StageTimer.stage) --------------------
+
+    def enter_stage(self, name: str) -> None:
+        self._stack.append(name)
+        if self._active is not None:
+            return  # sub-stage: keep attributing to the enclosing stage
+        top = name.split("/", 1)[0]
+        prof = self._profiles.get(top)
+        if prof is None:
+            prof = self._profiles[top] = cProfile.Profile()
+            self._order.append(top)
+        self._active = prof
+        prof.enable()
+
+    def exit_stage(self, name: str) -> None:
+        if self._stack:
+            self._stack.pop()
+        if self._stack or self._active is None:
+            return
+        self._active.disable()
+        self._active = None
+
+    # -- reporting ------------------------------------------------------
+
+    def report(self, top: int = 15) -> str:
+        """Text report: per-stage profiled time + cumulative-time tops."""
+        sections = []
+        for stage in self._order:
+            prof = self._profiles[stage]
+            buf = StringIO()
+            stats = pstats.Stats(prof, stream=buf)
+            stats.sort_stats("cumulative").print_stats(top)
+            body = buf.getvalue().strip()
+            sections.append(f"==== stage: {stage} ====\n{body}\n")
+        if not sections:
+            return "no stages profiled\n"
+        return "\n".join(sections)
+
+    def write(self, path: str, top: int = 15) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.report(top=top))
+
+
+@contextmanager
+def profile_stages(path: str | None, top: int = 15):
+    """Profile every :class:`repro._util.StageTimer` stage inside the
+    block and write the per-stage report to *path* on exit.
+
+    With ``path=None`` the block runs unobserved (no profiler is
+    registered), so callers can wrap unconditionally.
+    """
+    if path is None:
+        yield None
+        return
+    profiler = StageProfiler()
+    _STAGE_OBSERVERS.append(profiler)
+    try:
+        yield profiler
+    finally:
+        _STAGE_OBSERVERS.remove(profiler)
+        profiler.write(path, top=top)

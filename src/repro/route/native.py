@@ -1,0 +1,256 @@
+"""Native PathFinder core: ctypes binding and full-route driver.
+
+``_route_core.c`` is a line-by-line C port of the serial negotiation
+schedule in :mod:`repro.route.pathfinder` — direct-path iteration 0,
+weighted-A* reroutes inside the certified search windows, shared-trunk
+usage accounting, and the incremental cost refresh over only the
+occupancy-changed nodes.  It is compiled on demand through
+:mod:`repro._native` (IEEE-strict flags, content-hash cache) and is
+bit-identical to the Python router at every setting it handles (the
+property suite asserts it).
+
+The C session *shares* the caller's numpy buffers — occupancy,
+capacity, history, blocked — so nothing is copied per iteration, and
+one ``route_iterate`` call runs one negotiation iteration: the Python
+loop here keeps the same stage spans, telemetry, and stop condition as
+:meth:`Router.route`, so trace trees and metric totals match the pure
+paths.  The driver skips ``_Target`` materialization entirely; paths
+come back as one flat CSR at the end.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from pathlib import Path
+
+import numpy as np
+
+from .._native import build_library
+from ..obs.span import incr, observe, sample
+from .soa import wirelength_batch
+
+__all__ = ["native_available", "route_native"]
+
+_SOURCE = Path(__file__).with_name("_route_core.c")
+
+#: matches the ``astar_route`` default in :mod:`repro.route.maze`
+_MAX_EXPANSIONS = 200_000
+
+#: memoized build result: unset / CDLL / None (unavailable)
+_LIB: list = []
+
+
+def _lib():
+    if not _LIB:
+        lib = build_library(_SOURCE, "route_core")
+        if lib is not None:
+            I = ctypes.c_int64
+            D = ctypes.c_double
+            P = ctypes.c_void_p
+            lib.route_new.restype = P
+            lib.route_new.argtypes = (
+                [I, I, I, I]        # n_nodes, nrows, ncols, n_targets
+                + [P] * 4           # src, dst, width, gid
+                + [P] * 3           # occupancy, capacity, history
+                + [P, I]            # blocked, has_blocked
+                + [P, P, I]         # pre_keys, pre_counts, n_pre
+                + [D] * 4           # pres_fac_init, mult, hist_fac, weight
+                + [I]               # max_expansions
+            )
+            lib.route_iterate.restype = None
+            lib.route_iterate.argtypes = [P, I, P]
+            lib.route_paths_size.restype = I
+            lib.route_paths_size.argtypes = [P]
+            lib.route_paths_fill.restype = None
+            lib.route_paths_fill.argtypes = [P, P, P]
+            lib.route_free.restype = None
+            lib.route_free.argtypes = [P]
+        _LIB.append(lib)
+    return _LIB[0]
+
+
+def native_available() -> bool:
+    """True when the C route core compiled (or was cached) and loaded."""
+    return _lib() is not None
+
+
+def _ptr(a: np.ndarray) -> ctypes.c_void_p:
+    return ctypes.c_void_p(a.ctypes.data)
+
+
+def _collect_targets(design, nrows, ncols):
+    """Array-form target collection, identical in order and error
+    behavior to :meth:`Router._setup_targets_soa`, but without
+    materializing ``_Target`` objects.
+
+    Returns ``(names, gid, sink_idx, width, src, dst)`` where *names*
+    maps a net group id to its net name and the five arrays are in the
+    short-connections-first schedule order.  Each net's targets are
+    collected contiguously, so group ids are assigned on net change —
+    no name lookups.
+    """
+    from .pathfinder import RoutingError
+
+    names: list[str] = []
+    gids: list[int] = []
+    sink_idx: list[int] = []
+    widths: list[int] = []
+    coords: list[tuple[int, int, int, int]] = []
+    for net in design.nets.values():
+        if net.is_clock or net.driver is None or net.locked:
+            continue
+        driver = design.cells[net.driver]
+        gid = -1
+        for i, sink_name in enumerate(net.sinks):
+            if net.routes[i] is not None:
+                continue
+            sink = design.cells[sink_name]
+            if not driver.is_placed or not sink.is_placed:
+                raise RoutingError(
+                    f"net {net.name}: cannot route with unplaced endpoints"
+                )
+            if gid < 0:
+                gid = len(names)
+                names.append(net.name)
+            gids.append(gid)
+            sink_idx.append(i)
+            widths.append(net.width)
+            coords.append(driver.placement + sink.placement)
+    if not coords:
+        empty = np.empty(0, dtype=np.int64)
+        return names, empty, empty, empty, empty, empty
+    arr = np.asarray(coords, dtype=np.int64)  # columns: sc, sr, dc, dr
+    cols = arr[:, 0::2]
+    rows = arr[:, 1::2]
+    ok = (cols >= 0) & (cols < ncols) & (rows >= 0) & (rows < nrows)
+    if not ok.all():
+        t, e = (int(v) for v in np.argwhere(~ok)[0])
+        raise IndexError(
+            f"tile ({int(arr[t, 2 * e])},{int(arr[t, 2 * e + 1])}) "
+            "outside device"
+        )
+    src = arr[:, 0] * nrows + arr[:, 1]
+    dst = arr[:, 2] * nrows + arr[:, 3]
+    # Short connections first: they establish uncontested fabric use.
+    key = np.abs(arr[:, 0] - arr[:, 2]) + np.abs(arr[:, 1] - arr[:, 3])
+    order = np.argsort(key, kind="stable")
+    return (
+        names,
+        np.ascontiguousarray(np.asarray(gids, dtype=np.int64)[order]),
+        np.ascontiguousarray(np.asarray(sink_idx, dtype=np.int64)[order]),
+        np.ascontiguousarray(np.asarray(widths, dtype=np.int64)[order]),
+        np.ascontiguousarray(src[order]),
+        np.ascontiguousarray(dst[order]),
+    )
+
+
+def route_native(router, design, blocked, timer):
+    """Run the full negotiation through the C core; bit-identical to
+    ``Router.route`` with ``soa=True, jobs=1, shards=None``.
+
+    Called by :meth:`Router.route` once the dispatch conditions hold;
+    *blocked* is the caller's region mask (or ``None``).
+    """
+    from .pathfinder import _REROUTE_WEIGHT, RouteResult, routed_occupancy
+
+    lib = _lib()
+    if lib is None:
+        raise RuntimeError("native route core unavailable")
+    graph = router.graph
+    nrows, ncols = router.device.nrows, router.device.ncols
+    n_nodes = graph.n_nodes
+
+    with timer.stage("route/setup"):
+        occupancy, net_usage, preexisting = routed_occupancy(design, graph)
+        names, gid_a, sink_a, width_a, src_a, dst_a = _collect_targets(
+            design, nrows, ncols
+        )
+    n = int(src_a.size)
+
+    capacity = graph.capacity.astype(np.float64)
+    history = np.zeros(n_nodes, dtype=np.float64)
+
+    # preexisting per-net usage counts as (gid * n_nodes + node) -> count
+    pre_keys_l: list[int] = []
+    pre_counts_l: list[int] = []
+    for g, name in enumerate(names):
+        usage = net_usage.get(name)
+        if usage:
+            base = g * n_nodes
+            for node, count in usage.items():
+                pre_keys_l.append(base + node)
+                pre_counts_l.append(count)
+    pre_keys = np.asarray(pre_keys_l, dtype=np.int64)
+    pre_counts = np.asarray(pre_counts_l, dtype=np.int64)
+
+    if blocked is not None:
+        blocked_a = np.ascontiguousarray(blocked, dtype=np.uint8)
+        has_blocked = 1
+    else:
+        blocked_a = np.zeros(1, dtype=np.uint8)
+        has_blocked = 0
+
+    sess = lib.route_new(
+        n_nodes, nrows, ncols, n,
+        _ptr(src_a), _ptr(dst_a), _ptr(width_a), _ptr(gid_a),
+        _ptr(occupancy), _ptr(capacity), _ptr(history),
+        _ptr(blocked_a), has_blocked,
+        _ptr(pre_keys), _ptr(pre_counts), int(pre_keys.size),
+        float(router.pres_fac_init), float(router.pres_fac_mult),
+        float(router.hist_fac), _REROUTE_WEIGHT, _MAX_EXPANSIONS,
+    )
+    out = np.zeros(5, dtype=np.int64)
+    iterations = 0
+    try:
+        for iteration in range(router.max_iters):
+            iterations = iteration + 1
+            with timer.stage("route/iterate"):
+                lib.route_iterate(sess, iteration, _ptr(out))
+                if out[3]:
+                    incr("route.astar.calls", int(out[3]))
+                    incr("route.astar.expansions", int(out[4]))
+            failed = int(out[0])
+            n_over = int(out[2])
+            incr("route.ripup", int(out[1]))
+            sample("route.overuse", n_over, iteration=iterations)
+            if n_over == 0 and failed == 0:
+                break
+        total = int(lib.route_paths_size(sess))
+        flat = np.empty(max(total, 1), dtype=np.int64)
+        offs = np.empty(n + 1, dtype=np.int64)
+        offs[0] = 0
+        if n:
+            lib.route_paths_fill(sess, _ptr(flat), _ptr(offs))
+    finally:
+        lib.route_free(sess)
+
+    with timer.stage("route/commit"):
+        routed = 0
+        wirelength = 0
+        if n:
+            flat_l = flat[:total].tolist()
+            offs_l = offs.tolist()
+            gid_l = gid_a.tolist()
+            sink_l = sink_a.tolist()
+            nets = design.nets
+            for j in range(n):
+                o0 = offs_l[j]
+                o1 = offs_l[j + 1]
+                if o1 > o0:
+                    nets[names[gid_l[j]]].routes[sink_l[j]] = flat_l[o0:o1]
+                    routed += 1
+            wirelength = wirelength_batch(flat[:total], offs, nrows)
+
+    n_over_final = int(np.count_nonzero(occupancy > capacity))
+    incr("route.connections", n)
+    incr("route.failed", n - routed)
+    incr("route.iterations", iterations)
+    observe("route.wirelength", wirelength)
+    return RouteResult(
+        routed=routed,
+        failed=n - routed,
+        iterations=iterations,
+        wirelength=wirelength,
+        overused_nodes=n_over_final,
+        preexisting=preexisting,
+    )

@@ -65,8 +65,7 @@ class DelayModel:
         self, graph: RoutingGraph, path: list[int], fanout: int = 1
     ) -> float:
         """Delay of one routed source->sink path."""
-        tiles = graph.path_tiles(path)
-        crossings = graph.path_io_crossings(path)
+        tiles, crossings = graph.path_metrics(path)
         return (
             self.net_base_ps
             + self.wire_delay_ps(tiles)

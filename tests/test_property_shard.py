@@ -1,0 +1,190 @@
+"""Property tests for the sharded / SoA / native router tiers.
+
+Hypothesis over random multi-fanout routing problems on the small part:
+
+* the region-sharded rip-all-first schedule (``shards=(gc, gr)``) is
+  byte-identical to its retained serial oracle (``soa=False`` with the
+  same grid) — including boundary-net-heavy designs built so most
+  targets span the shard cuts, and with engine workers (``jobs=2``);
+* the classic structure-of-arrays fast path (and, when the compiled
+  core is available, the C negotiation core it dispatches to) is
+  byte-identical to the original scalar router;
+* with the compiled core forced off, the pure-Python SoA path matches
+  the native results exactly;
+* :func:`repro.route.soa.direct_paths_batch` reproduces
+  :func:`repro.route.maze.direct_path` target by target;
+* :func:`repro.route.shard.resolve_grid` honors the documented
+  ``"auto"`` threshold and rejects malformed grids.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fabric import Device, RoutingGraph, TileType
+from repro.netlist import Design
+from repro.route import Router
+from repro.route import native as route_native
+from repro.route.maze import direct_path
+from repro.route.shard import AUTO_MIN_TARGETS, resolve_grid
+from repro.route.soa import direct_paths_batch
+
+SMALL = Device.from_name("small")
+CLB_COLS = [int(c) for c in SMALL.columns_of(TileType.CLB)]
+
+GRIDS = [(1, 2), (2, 1), (2, 2), (3, 2)]
+
+
+@st.composite
+def routing_problems(draw, n_nets_max=6):
+    """A design of random placed cell pairs joined by multi-sink nets."""
+    rng_seed = draw(st.integers(0, 10_000))
+    n_nets = draw(st.integers(1, n_nets_max))
+    rng = np.random.default_rng(rng_seed)
+    design = Design(f"shard{rng_seed}")
+    for i in range(n_nets):
+        col = CLB_COLS[int(rng.integers(0, len(CLB_COLS)))]
+        row = int(rng.integers(0, SMALL.nrows))
+        design.new_cell(f"d{i}", "SLICE", placement=(col, row), luts=1)
+        sinks = []
+        for j in range(draw(st.integers(1, 3))):
+            scol = CLB_COLS[int(rng.integers(0, len(CLB_COLS)))]
+            srow = int(rng.integers(0, SMALL.nrows))
+            name = f"s{i}_{j}"
+            design.new_cell(name, "SLICE", placement=(scol, srow), luts=1)
+            sinks.append(name)
+        design.connect(f"n{i}", f"d{i}", sinks, width=draw(st.integers(1, 8)))
+    return design, rng_seed
+
+
+@st.composite
+def boundary_heavy_problems(draw):
+    """Designs where most connections must cross the shard cuts.
+
+    Drivers sit in one corner quadrant of the fabric and sinks in the
+    opposite one, so nearly every target's search window straddles a
+    ``(2, 2)`` grid's cut lines and lands in the global bucket — the
+    worst case for the sharded schedule's boundary negotiation.
+    """
+    rng_seed = draw(st.integers(0, 10_000))
+    n_nets = draw(st.integers(2, 5))
+    rng = np.random.default_rng(rng_seed)
+    design = Design(f"boundary{rng_seed}")
+    half_r = SMALL.nrows // 2
+    lo_cols = [c for c in CLB_COLS if c < SMALL.ncols // 2] or CLB_COLS
+    hi_cols = [c for c in CLB_COLS if c >= SMALL.ncols // 2] or CLB_COLS
+    for i in range(n_nets):
+        col = lo_cols[int(rng.integers(0, len(lo_cols)))]
+        row = int(rng.integers(0, half_r))
+        design.new_cell(f"d{i}", "SLICE", placement=(col, row), luts=1)
+        sinks = []
+        for j in range(draw(st.integers(1, 3))):
+            scol = hi_cols[int(rng.integers(0, len(hi_cols)))]
+            srow = int(rng.integers(half_r, SMALL.nrows))
+            name = f"s{i}_{j}"
+            design.new_cell(name, "SLICE", placement=(scol, srow), luts=1)
+            sinks.append(name)
+        design.connect(f"n{i}", f"d{i}", sinks, width=draw(st.integers(1, 8)))
+    return design, rng_seed
+
+
+def _route(design, seed, **kw):
+    graph = RoutingGraph(SMALL)
+    result = Router(SMALL, graph, seed=seed, **kw).route(design)
+    routes = {name: copy.deepcopy(net.routes) for name, net in design.nets.items()}
+    stats = (result.routed, result.failed, result.iterations,
+             result.wirelength, result.overused_nodes)
+    return routes, stats
+
+
+@settings(max_examples=20, deadline=None)
+@given(routing_problems(), st.sampled_from(GRIDS))
+def test_sharded_matches_serial_oracle(problem, grid):
+    design, seed = problem
+    r_soa, s_soa = _route(copy.deepcopy(design), seed, soa=True, shards=grid)
+    r_ref, s_ref = _route(copy.deepcopy(design), seed, soa=False, shards=grid)
+    assert s_soa == s_ref
+    assert r_soa == r_ref
+
+
+@settings(max_examples=20, deadline=None)
+@given(boundary_heavy_problems())
+def test_boundary_heavy_sharded_matches_oracle(problem):
+    design, seed = problem
+    r_soa, s_soa = _route(copy.deepcopy(design), seed, soa=True, shards=(2, 2))
+    r_ref, s_ref = _route(copy.deepcopy(design), seed, soa=False, shards=(2, 2))
+    assert s_soa == s_ref
+    assert r_soa == r_ref
+
+
+@settings(max_examples=4, deadline=None)
+@given(boundary_heavy_problems())
+def test_sharded_engine_matches_serial_oracle(problem):
+    design, seed = problem
+    r_par, s_par = _route(
+        copy.deepcopy(design), seed, soa=True, shards=(2, 2), jobs=2
+    )
+    r_ref, s_ref = _route(copy.deepcopy(design), seed, soa=False, shards=(2, 2))
+    assert s_par == s_ref
+    assert r_par == r_ref
+
+
+@settings(max_examples=20, deadline=None)
+@given(routing_problems())
+def test_classic_soa_matches_scalar(problem):
+    """Covers the compiled core when it is available: soa=True with no
+    sharding dispatches to it, and must still match the scalar router."""
+    design, seed = problem
+    r_soa, s_soa = _route(copy.deepcopy(design), seed, soa=True)
+    r_ref, s_ref = _route(copy.deepcopy(design), seed, soa=False)
+    assert s_soa == s_ref
+    assert r_soa == r_ref
+
+
+@pytest.mark.skipif(
+    not route_native.native_available(), reason="compiled route core unavailable"
+)
+@settings(max_examples=15, deadline=None)
+@given(routing_problems())
+def test_native_matches_pure_python_soa(problem):
+    design, seed = problem
+    r_nat, s_nat = _route(copy.deepcopy(design), seed, soa=True)
+    saved = list(route_native._LIB)
+    route_native._LIB[:] = [None]  # force the pure-Python SoA path
+    try:
+        r_py, s_py = _route(copy.deepcopy(design), seed, soa=True)
+    finally:
+        route_native._LIB[:] = saved
+    assert s_nat == s_py
+    assert r_nat == r_py
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 40))
+def test_direct_paths_batch_matches_scalar(seed, n):
+    nrows, ncols = SMALL.nrows, SMALL.ncols
+    rng = np.random.default_rng(seed)
+    srcs = rng.integers(0, nrows * ncols, size=n)
+    dsts = rng.integers(0, nrows * ncols, size=n)
+    flat, offs = direct_paths_batch(srcs, dsts, nrows)
+    assert offs[0] == 0 and offs[-1] == flat.size
+    for i in range(n):
+        expect = direct_path(int(srcs[i]), int(dsts[i]), nrows)
+        assert flat[offs[i] : offs[i + 1]].tolist() == expect
+
+
+def test_resolve_grid_auto_threshold():
+    assert resolve_grid("auto", AUTO_MIN_TARGETS - 1) is None
+    assert resolve_grid("auto", AUTO_MIN_TARGETS) == (2, 2)
+    assert resolve_grid((3, 1), 10) == (3, 1)
+
+
+def test_resolve_grid_rejects_malformed():
+    with pytest.raises(ValueError):
+        resolve_grid("3x3", 10)
+    with pytest.raises(ValueError):
+        resolve_grid((0, 2), 10)
