@@ -161,6 +161,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_drc.add_argument("--seed", type=int, default=0)
     _add_trace_options(p_drc)
 
+    p_lint = sub.add_parser(
+        "lint", help="determinism/concurrency static analysis of the source tree"
+    )
+    p_lint.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories to scan (default: src/ and "
+                             "tests/ under --root)")
+    p_lint.add_argument("--root", default=".",
+                        help="repo root findings are reported relative to")
+    p_lint.add_argument("--mode", default="strict", choices=("off", "warn", "strict"),
+                        help="strict: exit 2 on unwaived error-or-worse findings")
+    p_lint.add_argument("--strict", dest="mode", action="store_const", const="strict",
+                        help="alias for --mode strict")
+    p_lint.add_argument("--waivers", default=None, metavar="PATH",
+                        help="TOML/JSON waiver file of reviewed exceptions")
+    p_lint.add_argument("--categories", default=None, metavar="CAT[,CAT...]",
+                        help="restrict to rule categories "
+                             "(determinism, concurrency, oracle)")
+    p_lint.add_argument("--sarif", default=None, metavar="PATH",
+                        help="write a SARIF 2.1 report here")
+    p_lint.add_argument("--json", default=None, metavar="PATH",
+                        help="write the JSON report here")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+
     p_build = sub.add_parser(
         "build", help="pre-implement a component database (offline, parallel, cached)"
     )
@@ -469,6 +493,37 @@ def _cmd_drc(args, out) -> int:
     return report.exit_code(args.mode)
 
 
+def _cmd_lint(args, out) -> int:
+    import json as json_mod
+
+    from .drc import WaiverSet
+    from .lint import all_lint_rules, run_lint
+
+    if args.list_rules:
+        for r in all_lint_rules():
+            print(f"{r.id}  {str(r.severity):<8} {r.category:<12} {r.title}",
+                  file=out)
+        return 0
+    categories = None
+    if args.categories:
+        categories = tuple(c.strip() for c in args.categories.split(",") if c.strip())
+    waivers = WaiverSet.load(args.waivers) if args.waivers else None
+    report = run_lint(
+        args.paths or None,
+        root=args.root,
+        categories=categories,
+        waivers=waivers,
+    )
+    print(report.table(), file=out)
+    if args.sarif:
+        Path(args.sarif).write_text(json_mod.dumps(report.to_sarif(), indent=2))
+        print(f"SARIF report written to {args.sarif}", file=out)
+    if args.json:
+        Path(args.json).write_text(json_mod.dumps(report.to_json(), indent=2))
+        print(f"JSON report written to {args.json}", file=out)
+    return report.exit_code(args.mode)
+
+
 def _cmd_eco(args, out) -> int:
     import json as json_mod
 
@@ -758,6 +813,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "build": _cmd_build,
     "drc": _cmd_drc,
+    "lint": _cmd_lint,
     "eco": _cmd_eco,
     "floorplan": _cmd_floorplan,
     "explore": _cmd_explore,

@@ -4,18 +4,17 @@ The SARIF output follows the 2.1.0 schema closely enough for GitHub
 code-scanning upload: one run, a ``repro-drc`` driver carrying rule
 metadata for every rule that was swept, one result per violation with a
 logical location (netlists have no files to point at), and waived
-violations expressed as suppressed results rather than dropped.
+violations expressed as suppressed results rather than dropped.  The
+log assembly itself lives in :mod:`repro.reporting`, shared with
+:mod:`repro.lint` so both checkers emit the same SARIF shape.
 """
 
 from __future__ import annotations
 
-from ..analysis.report import format_table
+from ..reporting import findings_table, sarif_log, sarif_rule, sarif_suppression
 from .violation import Severity
 
 __all__ = ["violation_table", "report_to_json", "report_to_sarif"]
-
-SARIF_VERSION = "2.1.0"
-SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def violation_table(report) -> str:
@@ -27,7 +26,7 @@ def violation_table(report) -> str:
         sev = str(v.severity) + (" (waived)" if v.waived else "")
         rows.append([v.rule_id, sev, str(v.location), v.message])
     title = report.summary()
-    return format_table(["rule", "severity", "location", "message"], rows, title=title)
+    return findings_table(["rule", "severity", "location", "message"], rows, title=title)
 
 
 def report_to_json(report) -> dict:
@@ -48,13 +47,7 @@ def _rule_metadata() -> list[dict]:
     from .engine import all_rules
 
     return [
-        {
-            "id": r.id,
-            "name": r.title.title().replace(" ", "").replace("-", ""),
-            "shortDescription": {"text": r.title},
-            "defaultConfiguration": {"level": r.severity.sarif_level},
-            "properties": {"category": r.category},
-        }
+        sarif_rule(r.id, r.title, r.severity.sarif_level, r.category)
         for r in all_rules()
     ]
 
@@ -68,21 +61,13 @@ def report_to_sarif(report) -> dict:
     # ruleId resolves.
     if any(v.rule_id == "WVR-001" for v in report.violations):
         rules_meta.append(
-            {
-                "id": "WVR-001",
-                "name": "ExpiredWaiver",
-                "shortDescription": {"text": "expired waiver"},
-                "defaultConfiguration": {"level": Severity.INFO.sarif_level},
-                "properties": {"category": "waiver"},
-            }
+            sarif_rule("WVR-001", "expired waiver", Severity.INFO.sarif_level, "waiver")
         )
-    rule_index = {r["id"]: i for i, r in enumerate(rules_meta)}
 
     results = []
     for v in report.violations:
         result = {
             "ruleId": v.rule_id,
-            "ruleIndex": rule_index.get(v.rule_id, -1),
             "level": v.severity.sarif_level,
             "message": {"text": v.message},
             "locations": [
@@ -99,33 +84,16 @@ def report_to_sarif(report) -> dict:
             "properties": {"design": v.design or report.design},
         }
         if v.waived:
-            result["suppressions"] = [
-                {
-                    "kind": "external",
-                    "status": "accepted",
-                    "justification": v.waived_reason,
-                }
-            ]
+            result["suppressions"] = [sarif_suppression(v.waived_reason)]
         results.append(result)
 
-    return {
-        "$schema": SARIF_SCHEMA,
-        "version": SARIF_VERSION,
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": "repro-drc",
-                        "informationUri": "https://example.invalid/repro",
-                        "rules": rules_meta,
-                    }
-                },
-                "results": results,
-                "properties": {
-                    "design": report.design,
-                    "gate": report.gate,
-                    "rulesRun": list(report.rules_run),
-                },
-            }
-        ],
-    }
+    return sarif_log(
+        "repro-drc",
+        rules_meta,
+        results,
+        properties={
+            "design": report.design,
+            "gate": report.gate,
+            "rulesRun": list(report.rules_run),
+        },
+    )

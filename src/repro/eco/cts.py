@@ -237,15 +237,15 @@ def run_cts(
     for net, root, levels, leaf_cap, arrivals in plans:
         counter = 0
 
-        def commit(node: _Node) -> str:
+        def commit(node: _Node, clock: str = net.name) -> str:
             nonlocal counter
             i = counter
             counter += 1
-            name = f"{net.name}/cts_buf{i}"
+            name = f"{clock}/cts_buf{i}"
             design.add_cell(Cell(name, "BUFCE", placement=node.site))
-            downstream = [commit(c) for c in node.children]
+            downstream = [commit(c, clock) for c in node.children]
             downstream += [s for s, _ in node.sinks]
-            design.connect(f"{net.name}/cts{i}", name, downstream, is_clock=True)
+            design.connect(f"{clock}/cts{i}", name, downstream, is_clock=True)
             return name
 
         root_name = commit(root)

@@ -43,6 +43,10 @@ from .delta import (
 
 __all__ = ["EcoEngine", "EcoResult"]
 
+#: Reference implementation this tier is asserted bit-identical to
+#: (the oracle contract; checked by ORC lint rules).
+ORACLE = "repro.eco.reference.eco_reference"
+
 
 @dataclass
 class EcoResult:

@@ -28,6 +28,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from .. import sanitize
+
 __all__ = ["CODE_SALT", "canonical", "canonical_blob", "content_key", "CacheStats", "BuildCache"]
 
 #: Bump when the build recipe changes in a way that invalidates cached
@@ -204,6 +206,7 @@ class BuildCache:
             self.stats.puts += 1
 
     def _remember(self, key: str, value: Any) -> None:
+        sanitize.note_write("engine.BuildCache._mem", self._lock)
         self._mem[key] = value
         self._mem.move_to_end(key)
         while self.max_entries is not None and len(self._mem) > self.max_entries:

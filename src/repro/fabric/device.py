@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
+from typing import ClassVar
 
 import numpy as np
 
@@ -32,8 +33,12 @@ class TileType:
     IO = 4
     URAM = 5
 
-    NAMES = {NULL: "NULL", CLB: "CLB", DSP: "DSP", BRAM: "BRAM", IO: "IO", URAM: "URAM"}
-    FROM_CHAR = {".": NULL, "C": CLB, "D": DSP, "B": BRAM, "I": IO, "U": URAM}
+    NAMES: ClassVar[dict[int, str]] = {
+        NULL: "NULL", CLB: "CLB", DSP: "DSP", BRAM: "BRAM", IO: "IO", URAM: "URAM"
+    }
+    FROM_CHAR: ClassVar[dict[str, int]] = {
+        ".": NULL, "C": CLB, "D": DSP, "B": BRAM, "I": IO, "U": URAM
+    }
 
 
 #: Site type provided by each tile type (None = no placeable site).

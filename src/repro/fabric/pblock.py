@@ -147,7 +147,7 @@ def auto_pblock(
     height = min(max_height, device.nrows - row0)
     last_have: dict[str, int] = {}
     while True:
-        have = {site: 0 for site in set(target)}
+        have = {site: 0 for site in sorted(set(target))}
         col1 = col0 - 1
         while col1 + 1 < device.ncols:
             col1 += 1

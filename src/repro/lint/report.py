@@ -1,0 +1,102 @@
+"""Lint report rendering: human table, JSON, and SARIF 2.1.
+
+Built on the same :mod:`repro.reporting` emitters as :mod:`repro.drc`,
+so both checkers' SARIF logs have the same shape — the one difference
+is that lint findings carry *physical* locations (file + line) where
+DRC violations carry logical ones (named design objects).
+"""
+
+from __future__ import annotations
+
+from ..drc.violation import Severity
+from ..reporting import findings_table, sarif_log, sarif_rule, sarif_suppression
+
+__all__ = ["finding_table", "report_to_json", "report_to_sarif"]
+
+
+def finding_table(report) -> str:
+    """Aligned ASCII table of every finding (waived ones marked)."""
+    if not report.findings:
+        return (f"lint {report.root}: clean ({len(report.rules_run)} rules, "
+                f"{report.files_scanned} files)")
+    rows = []
+    for f in report.findings:
+        sev = str(f.severity) + (" (waived)" if f.waived else "")
+        rows.append([f.rule_id, sev, f.where(), f.message])
+    return findings_table(["rule", "severity", "location", "message"],
+                          rows, title=report.summary())
+
+
+def report_to_json(report) -> dict:
+    """Machine-readable report (the ``--json`` CLI output)."""
+    return {
+        "root": report.root,
+        "files_scanned": report.files_scanned,
+        "rules_run": list(report.rules_run),
+        "counts": report.counts(),
+        "by_rule": report.by_rule(),
+        "n_waived": report.n_waived,
+        "clean": report.is_clean(),
+        "findings": [f.to_json() for f in report.findings],
+    }
+
+
+def _rule_metadata() -> list[dict]:
+    from .engine import all_lint_rules
+
+    return [
+        sarif_rule(r.id, r.title, r.severity.sarif_level, r.category)
+        for r in all_lint_rules()
+    ]
+
+
+#: Findings emitted outside the registry (parse failures, waiver-expiry
+#: notices) still need driver metadata so every result's ruleId resolves.
+_EXTRA_RULES = {
+    "LNT-001": ("unparsable source file", Severity.ERROR, "engine"),
+    "WVR-001": ("expired waiver", Severity.INFO, "waiver"),
+}
+
+
+def report_to_sarif(report) -> dict:
+    """SARIF 2.1.0 log; findings carry physical file/line locations."""
+    swept = set(report.rules_run)
+    rules_meta = [r for r in _rule_metadata() if r["id"] in swept]
+    for rule_id, (title, severity, category) in _EXTRA_RULES.items():
+        if any(f.rule_id == rule_id for f in report.findings):
+            rules_meta.append(
+                sarif_rule(rule_id, title, severity.sarif_level, category)
+            )
+
+    results = []
+    for f in report.findings:
+        location: dict = {
+            "physicalLocation": {
+                "artifactLocation": {"uri": f.path},
+            }
+        }
+        if f.line:
+            region = {"startLine": f.line}
+            if f.col:
+                region["startColumn"] = f.col + 1
+            location["physicalLocation"]["region"] = region
+        result = {
+            "ruleId": f.rule_id,
+            "level": f.severity.sarif_level,
+            "message": {"text": f.message},
+            "locations": [location],
+        }
+        if f.waived:
+            result["suppressions"] = [sarif_suppression(f.waived_reason)]
+        results.append(result)
+
+    return sarif_log(
+        "repro-lint",
+        rules_meta,
+        results,
+        properties={
+            "root": report.root,
+            "filesScanned": report.files_scanned,
+            "rulesRun": list(report.rules_run),
+        },
+    )

@@ -42,6 +42,7 @@ import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 
+from .. import sanitize
 from .metrics import MetricsRegistry
 from .sinks import InMemorySink, Sink
 
@@ -101,6 +102,7 @@ class Tracer:
 
     def emit(self, event: dict) -> None:
         with self._lock:
+            sanitize.note_write("obs.Tracer.sink", self._lock)
             self.sink.emit(event)
 
     def emit_span(

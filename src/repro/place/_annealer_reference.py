@@ -83,7 +83,7 @@ def anneal_reference(
     type_cols: dict[str, list[int]] = {}
     type_rows: dict[str, tuple[int, int]] = {}
     type_sets: dict[str, set[tuple[int, int]]] = {}
-    for ct in set(ctypes):
+    for ct in sorted(set(ctypes)):
         pool = problem.site_pools[ct]
         type_cols[ct] = sorted(set(int(c) for c in pool[:, 0]))
         type_rows[ct] = (int(pool[:, 1].min()), int(pool[:, 1].max()))

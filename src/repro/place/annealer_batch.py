@@ -60,6 +60,10 @@ from .problem import PlacementProblem
 
 __all__ = ["anneal_batched"]
 
+#: Reference implementation this tier is asserted bit-identical to
+#: (the oracle contract; checked by ORC lint rules).
+ORACLE = "repro.place._annealer_reference.anneal_reference"
+
 #: Adaptive speculative-block bounds.  Hot blocks (high acceptance →
 #: many in-block conflicts) shrink toward the minimum; quench blocks
 #: grow toward the maximum to amortize the vectorized pass.
@@ -223,7 +227,7 @@ def anneal_batched(
     type_cols: dict[str, list[int]] = {}
     type_rows: dict[str, tuple[int, int]] = {}
     type_sets: dict[str, set[tuple[int, int]]] = {}
-    for ct in set(ctypes):
+    for ct in sorted(set(ctypes)):
         pool = problem.site_pools[ct]
         type_cols[ct] = sorted(set(int(c) for c in pool[:, 0]))
         type_rows[ct] = (int(pool[:, 1].min()), int(pool[:, 1].max()))

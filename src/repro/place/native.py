@@ -31,6 +31,10 @@ from .problem import PlacementProblem
 
 __all__ = ["anneal_native", "native_available"]
 
+#: Reference implementation this tier is asserted bit-identical to
+#: (the oracle contract; checked by ORC lint rules).
+ORACLE = "repro.place._annealer_reference.anneal_reference"
+
 _SOURCE = Path(__file__).with_name("_anneal_core.c")
 
 #: memoized build result: unset / CDLL function / None (unavailable)
@@ -140,7 +144,7 @@ def anneal_native(
     type_cols: dict[str, list[int]] = {}
     type_rows: dict[str, tuple[int, int]] = {}
     type_sets: dict[str, set[tuple[int, int]]] = {}
-    for ct in set(ctypes_):
+    for ct in sorted(set(ctypes_)):
         pool = problem.site_pools[ct]
         type_cols[ct] = sorted(set(int(c) for c in pool[:, 0]))
         type_rows[ct] = (int(pool[:, 1].min()), int(pool[:, 1].max()))

@@ -1,0 +1,157 @@
+"""Shared report emitters: SARIF 2.1 builders and finding tables.
+
+Both rule-based checkers in this repo — :mod:`repro.drc` (design rules
+over netlists/placements/routes) and :mod:`repro.lint` (determinism and
+concurrency rules over the flow's own source) — emit the same report
+surfaces: an aligned ASCII table, a JSON document, and a SARIF 2.1.0
+log ingestible by code-scanning UIs.  This module holds the emitter
+plumbing they share, so the two subsystems cannot drift apart in SARIF
+shape: one driver per run, rule metadata for every rule swept, one
+result per finding, and waived findings expressed as suppressed results
+rather than dropped.
+
+:func:`validate_sarif` is the structural contract both subsystems'
+tests assert against — a self-contained subset of the 2.1.0 schema
+covering every field we emit (the full JSON-Schema validation runs in
+CI when ``jsonschema`` is installed; this validator keeps the check
+alive without the dependency).
+"""
+
+from __future__ import annotations
+
+from .analysis.report import format_table
+
+__all__ = [
+    "SARIF_VERSION",
+    "SARIF_SCHEMA",
+    "sarif_rule",
+    "sarif_suppression",
+    "sarif_log",
+    "findings_table",
+    "validate_sarif",
+]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: The three SARIF result levels our severities collapse onto.
+SARIF_LEVELS = ("note", "warning", "error")
+
+
+def sarif_rule(rule_id: str, title: str, level: str, category: str) -> dict:
+    """Rule metadata entry for the driver's ``rules`` array."""
+    return {
+        "id": rule_id,
+        "name": title.title().replace(" ", "").replace("-", ""),
+        "shortDescription": {"text": title},
+        "defaultConfiguration": {"level": level},
+        "properties": {"category": category},
+    }
+
+
+def sarif_suppression(reason: str) -> dict:
+    """Suppression record for a waived finding."""
+    return {"kind": "external", "status": "accepted", "justification": reason}
+
+
+def sarif_log(
+    driver: str,
+    rules: list[dict],
+    results: list[dict],
+    properties: dict | None = None,
+) -> dict:
+    """Assemble one single-run SARIF 2.1.0 log.
+
+    ``rules`` are :func:`sarif_rule` entries; each result's ``ruleIndex``
+    is filled in (or repaired) here from its ``ruleId``, so callers never
+    hand-maintain index consistency.
+    """
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    for result in results:
+        result["ruleIndex"] = rule_index.get(result.get("ruleId"), -1)
+    run = {
+        "tool": {
+            "driver": {
+                "name": driver,
+                "informationUri": "https://example.invalid/repro",
+                "rules": rules,
+            }
+        },
+        "results": results,
+    }
+    if properties:
+        run["properties"] = properties
+    return {"$schema": SARIF_SCHEMA, "version": SARIF_VERSION, "runs": [run]}
+
+
+def findings_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """Aligned ASCII findings table (shared with the benchmark harness)."""
+    return format_table(headers, rows, title=title)
+
+
+def validate_sarif(doc: dict) -> None:
+    """Assert *doc* is structurally valid against the subset of SARIF
+    2.1.0 this repo emits; raises :class:`ValueError` with the first
+    problem found.  Deliberately dependency-free — the full schema check
+    (``jsonschema``) layers on top in CI.
+    """
+
+    def need(cond: bool, msg: str) -> None:
+        if not cond:
+            raise ValueError(f"invalid SARIF: {msg}")
+
+    need(isinstance(doc, dict), "log must be an object")
+    need(doc.get("version") == SARIF_VERSION, f"version must be {SARIF_VERSION!r}")
+    need(isinstance(doc.get("$schema"), str), "$schema must be a string")
+    runs = doc.get("runs")
+    need(isinstance(runs, list) and runs, "runs must be a non-empty array")
+    for run in runs:
+        need(isinstance(run, dict), "run must be an object")
+        driver = run.get("tool", {}).get("driver", {})
+        need(isinstance(driver.get("name"), str) and driver["name"],
+             "tool.driver.name must be a non-empty string")
+        rules = driver.get("rules", [])
+        need(isinstance(rules, list), "driver.rules must be an array")
+        seen_ids = []
+        for rule in rules:
+            need(isinstance(rule.get("id"), str) and rule["id"],
+                 "every rule needs a string id")
+            need(rule["id"] not in seen_ids, f"duplicate rule id {rule['id']}")
+            seen_ids.append(rule["id"])
+            level = rule.get("defaultConfiguration", {}).get("level")
+            need(level in SARIF_LEVELS, f"rule {rule['id']}: bad level {level!r}")
+            need(isinstance(rule.get("shortDescription", {}).get("text"), str),
+                 f"rule {rule['id']}: shortDescription.text must be a string")
+        results = run.get("results")
+        need(isinstance(results, list), "run.results must be an array")
+        for result in results:
+            rule_id = result.get("ruleId")
+            need(isinstance(rule_id, str) and rule_id, "result needs a ruleId")
+            need(result.get("level") in SARIF_LEVELS,
+                 f"result {rule_id}: bad level {result.get('level')!r}")
+            need(isinstance(result.get("message", {}).get("text"), str),
+                 f"result {rule_id}: message.text must be a string")
+            index = result.get("ruleIndex", -1)
+            need(isinstance(index, int), f"result {rule_id}: ruleIndex must be int")
+            if index >= 0:
+                need(index < len(seen_ids) and seen_ids[index] == rule_id,
+                     f"result {rule_id}: ruleIndex {index} does not match driver rules")
+            for location in result.get("locations", []):
+                phys = location.get("physicalLocation")
+                if phys is not None:
+                    art = phys.get("artifactLocation", {})
+                    need(isinstance(art.get("uri"), str),
+                         f"result {rule_id}: physicalLocation needs artifactLocation.uri")
+                    region = phys.get("region")
+                    if region is not None:
+                        need(isinstance(region.get("startLine"), int)
+                             and region["startLine"] >= 1,
+                             f"result {rule_id}: region.startLine must be >= 1")
+                for logical in location.get("logicalLocations", []):
+                    need(isinstance(logical.get("name"), str),
+                         f"result {rule_id}: logicalLocation needs a name")
+            for suppression in result.get("suppressions", []):
+                need(suppression.get("kind") in ("inSource", "external"),
+                     f"result {rule_id}: bad suppression kind")
+                need(suppression.get("status") in ("accepted", "underReview", "rejected"),
+                     f"result {rule_id}: bad suppression status")

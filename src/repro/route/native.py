@@ -31,6 +31,10 @@ from .soa import wirelength_batch
 
 __all__ = ["native_available", "route_native"]
 
+#: Reference implementation this tier is asserted bit-identical to
+#: (the oracle contract; checked by ORC lint rules).
+ORACLE = "repro.route.pathfinder.Router"
+
 _SOURCE = Path(__file__).with_name("_route_core.c")
 
 #: matches the ``astar_route`` default in :mod:`repro.route.maze`

@@ -43,6 +43,10 @@ from .soa import overused_flags, refresh_cost_nodes
 
 __all__ = ["AUTO_MIN_TARGETS", "resolve_grid", "route_sharded"]
 
+#: Oracle contract: the serial ``jobs=1``/``soa=False`` configuration of
+#: this same schedule is the retained reference (see module docstring).
+ORACLE = "repro.route.shard.route_sharded"
+
 #: ``shards="auto"`` stays on the classic schedule below this many
 #: connections — sharding pays off only when the rip-up scan and the
 #: per-iteration search volume are large.

@@ -28,6 +28,10 @@ __all__ = [
     "refresh_cost_nodes",
 ]
 
+#: Reference implementation these kernels are asserted bit-identical to
+#: (the oracle contract; checked by ORC lint rules).
+ORACLE = "repro.route.pathfinder.Router"
+
 _EMPTY = np.empty(0, dtype=np.int64)
 
 

@@ -29,6 +29,7 @@ import traceback
 from collections import deque
 from dataclasses import dataclass
 
+from .. import sanitize
 from .runner import run_job
 from .spec import JobSpec
 from .store import JobRecord, JobStore
@@ -137,6 +138,7 @@ class Scheduler:
 
     def _enqueue(self, record: JobRecord) -> None:
         with self._cond:
+            sanitize.note_write("serve.Scheduler._queues", self._cond)
             tenant = record.spec.tenant
             if tenant not in self._queues:
                 self._queues[tenant] = deque()
@@ -162,6 +164,7 @@ class Scheduler:
             if self._running.get(tenant, 0) >= self.quota_for(tenant).max_running:
                 continue
             record = queue.popleft()
+            sanitize.note_write("serve.Scheduler._running", self._cond)
             self._running[tenant] = self._running.get(tenant, 0) + 1
             return record
         return None

@@ -37,6 +37,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import tempfile
 import threading
 from pathlib import Path
 from urllib.parse import parse_qs, urlsplit
@@ -138,13 +139,26 @@ class ServeServer:
             loop.close()
 
     def _write_discovery(self) -> None:
+        # mkstemp + replace: two servers pointed at one data dir must not
+        # interleave writes into a shared "serve.json.tmp".
         path = self.data_dir / "serve.json"
-        tmp = path.with_name("serve.json.tmp")
-        tmp.write_text(json.dumps(
+        blob = json.dumps(
             {"host": self.host, "port": self.port, "pid": os.getpid(),
              "url": self.url}
-        ))
-        tmp.replace(path)
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".serve-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(blob)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     def stop(self, *, timeout: float = 30.0) -> None:
         """Graceful stop: finish running jobs, leave queued jobs journaled."""

@@ -25,12 +25,15 @@ by content address, which is what makes warm resubmits near-instant.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from .. import sanitize
 from ..engine.cache import BuildCache
 from .progress import ProgressLog
 from .spec import JobSpec
@@ -119,6 +122,7 @@ class JobStore:
     def _append(self, event: dict) -> None:
         line = json.dumps(event, sort_keys=True)
         with self._lock:
+            sanitize.note_write("serve.JobStore.journal", self._lock)
             self._journal_fh.write(line + "\n")
             self._journal_fh.flush()
 
@@ -254,10 +258,24 @@ class JobStore:
         return self.results_dir / f"{job_id}.json"
 
     def save_result(self, job_id: str, result: dict) -> Path:
+        # mkstemp + replace, not a fixed "<id>.json.tmp": a recovered job
+        # racing its zombie run (or two servers on one data dir) must not
+        # interleave writes into the same temp file.
         path = self.result_path(job_id)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(result, sort_keys=True, indent=1))
-        tmp.replace(path)
+        blob = json.dumps(result, sort_keys=True, indent=1)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{job_id}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(blob)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return path
 
     def load_result(self, job_id: str) -> dict | None:

@@ -31,6 +31,10 @@ from .sta import combinational_loops as _combinational_loops
 
 __all__ = ["IncrementalSta", "StaSessionStats"]
 
+#: Reference implementation this tier is asserted bit-identical to
+#: (the oracle contract; checked by ORC lint rules).
+ORACLE = "repro.timing.sta.analyze_reference"
+
 
 @dataclass
 class StaSessionStats:

@@ -4,9 +4,28 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Device
+from repro import Device, sanitize
 from repro.cnn import Conv2D, Dense, DFG, Flatten, Input, MaxPool2D, ReLU
 from repro.fabric import RoutingGraph
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _runtime_sanitizer():
+    """With ``REPRO_SANITIZE=1``, enforce the lint discipline dynamically:
+    ambient-RNG reads from oracle-paired code raise immediately, and any
+    unsynchronized write to registered shared state fails the session."""
+    if not sanitize.enabled():
+        yield
+        return
+    sanitize.reset()
+    sanitize.install()
+    try:
+        yield
+    finally:
+        found = sanitize.violations()
+        sanitize.uninstall()
+        sanitize.reset()
+    assert not found, f"unsynchronized shared-state writes: {found}"
 
 
 @pytest.fixture(scope="session")

@@ -109,3 +109,43 @@ def test_serve_parsers_accept_expected_flags():
     assert args.state == "done"
     args = parser.parse_args(["result", "j000001", "--url", "http://x:1", "--wait"])
     assert args.job_id == "j000001" and args.wait is True
+
+
+def test_lint_list_rules():
+    code, text = _run(["lint", "--list-rules"])
+    assert code == 0
+    for rule_id in ("DET-001", "CONC-001", "ORC-001"):
+        assert rule_id in text
+
+
+def test_lint_fixture_tree_gates_and_emits_reports(tmp_path):
+    bad = tmp_path / "src" / "repro" / "place"
+    bad.mkdir(parents=True)
+    (bad / "foo.py").write_text("import random\nx = random.random()\n")
+    sarif = tmp_path / "lint.sarif"
+
+    code, text = _run([
+        "lint", "--root", str(tmp_path), "--mode", "strict",
+        "--categories", "determinism", "--sarif", str(sarif),
+    ])
+    assert code == 2
+    assert "DET-001" in text
+    doc = __import__("json").loads(sarif.read_text())
+    assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+    code, _ = _run([
+        "lint", "--root", str(tmp_path), "--mode", "warn",
+        "--categories", "determinism",
+    ])
+    assert code == 0
+
+
+def test_lint_repo_is_clean_through_the_cli():
+    from pathlib import Path
+
+    repo = Path(__file__).resolve().parent.parent
+    code, text = _run([
+        "lint", "--strict", "--root", str(repo),
+        "--waivers", str(repo / "lint-waivers.toml"),
+    ])
+    assert code == 0, text

@@ -24,6 +24,8 @@ from repro.netlist import Design
 from repro.place import place_design
 from repro.place._annealer_reference import anneal_reference
 from repro.place.annealer import anneal
+from repro.place.annealer_batch import anneal_batched
+from repro.place.native import anneal_native, native_available
 from repro.place.global_place import global_place
 from repro.place.legalize import legalize
 from repro.place.problem import PlacementProblem
@@ -107,6 +109,49 @@ def test_incremental_anneal_matches_reference(case):
     assert np.array_equal(sites, sites_ref)
     assert (stats.moves, stats.accepted) == (stats_ref.moves, stats_ref.accepted)
     assert stats.initial_cost == stats_ref.initial_cost
+    assert stats.final_cost == stats_ref.final_cost
+
+
+@settings(max_examples=15, deadline=None)
+@given(placement_designs())
+def test_batched_anneal_matches_reference(case):
+    """The block-vectorized tier is normally reached only above
+    ``_BATCH_MIN_CELLS``; call it directly so small Hypothesis designs
+    exercise its bit-identity contract too."""
+    design, seed = case
+    problem = PlacementProblem.from_design(design, SMALL)
+    sites = legalize(problem, global_place(problem, make_rng(seed), iters=5))
+    sites_ref = sites.copy()
+    stats = anneal_batched(
+        problem, sites, seed=seed, moves_per_cell=20, max_moves=2_000
+    )
+    stats_ref = anneal_reference(
+        problem, sites_ref, seed=seed, moves_per_cell=20, max_moves=2_000
+    )
+    assert np.array_equal(sites, sites_ref)
+    assert (stats.moves, stats.accepted) == (stats_ref.moves, stats_ref.accepted)
+    assert stats.initial_cost == stats_ref.initial_cost
+    assert stats.final_cost == stats_ref.final_cost
+
+
+@settings(max_examples=10, deadline=None)
+@given(placement_designs())
+def test_native_anneal_matches_reference(case):
+    """Same contract for the compiled sweep, when the core builds here."""
+    if not native_available():
+        return
+    design, seed = case
+    problem = PlacementProblem.from_design(design, SMALL)
+    sites = legalize(problem, global_place(problem, make_rng(seed), iters=5))
+    sites_ref = sites.copy()
+    stats = anneal_native(
+        problem, sites, seed=seed, moves_per_cell=20, max_moves=2_000
+    )
+    stats_ref = anneal_reference(
+        problem, sites_ref, seed=seed, moves_per_cell=20, max_moves=2_000
+    )
+    assert np.array_equal(sites, sites_ref)
+    assert (stats.moves, stats.accepted) == (stats_ref.moves, stats_ref.accepted)
     assert stats.final_cost == stats_ref.final_cost
 
 

@@ -126,6 +126,25 @@ class TestResults:
     def test_missing_result_is_none(self, tmp_path):
         assert JobStore(tmp_path).load_result("j000001") is None
 
+    def test_concurrent_saves_never_tear(self, tmp_path):
+        """Regression: save_result used a fixed '<id>.json.tmp' staging
+        name, so two writers for the same job (a recovered job racing its
+        zombie run, or two servers on one data dir) interleaved writes in
+        the same temp file and could publish a torn document.  With
+        mkstemp staging every published version parses and is one of the
+        writers' documents, and no temp droppings survive."""
+        import concurrent.futures
+
+        store = JobStore(tmp_path)
+        docs = [{"writer": i, "pad": "x" * (2000 + i)} for i in range(8)]
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda d: store.save_result("j000042", d), docs))
+        final = store.load_result("j000042")
+        assert final in docs
+        leftovers = [p for p in (tmp_path / "results").iterdir()
+                     if p.suffix != ".json"]
+        assert not leftovers
+
 
 class TestFarmCache:
     def test_cache_is_shared_and_sharded(self, tmp_path):
