@@ -1,0 +1,253 @@
+"""Data-plane benchmark: binary columnar codec vs the JSON checkpoint path.
+
+Two scenarios, each run on a LeNet-scale and a VGG-scale pre-implemented
+build (results keyed by name in ``BENCH_codec.json``):
+
+* ``*_codec`` — **cold checkpoint round trip** through the shipped
+  entry points :func:`repro.netlist.save_checkpoint` /
+  :func:`repro.netlist.load_checkpoint`: the binary columnar ``.dcpb``
+  image (:mod:`repro.netlist.codec`) versus the ``.dcpz`` gzip-JSON
+  checkpoint the flow persisted before the binary codec existed (and
+  still writes for the component database).  Both sides pay real file
+  I/O; the binary file is larger on disk (no compression pass) but
+  parses into flat typed arrays instead of a per-object dict walk.
+
+* ``*_fetch`` — **database fetch + relocate**: ``ComponentDatabase.
+  fetch(sig, anchor)`` materializing every component of the model at
+  several legal anchors from the interned columnar template (decode
+  once per signature, then array-level offset arithmetic per copy),
+  versus the pre-codec path the database used to take — decode the JSON
+  payload, then :func:`repro.rapidwright.module.relocate_reference`
+  (serialize, parse, shift: the checkpoint-codec round trip a DCP
+  reload costs).
+
+Every workload asserts **bit-identity** before any timing: the decoded
+binary checkpoint must equal the JSON round trip, and every fetched
+copy must equal the ``relocate_reference`` oracle, both compared as
+canonical JSON of :func:`design_to_dict`.  The speedup can never come
+from divergence.
+
+Every timed section is measured interleaved (opt, ref, opt, ref, ...)
+and reported as the min over repetitions.  ``--check BASELINE``
+compares speedup ratios against a committed baseline (fails on a >20 %
+regression) and enforces the acceptance floors on the VGG-scale
+workloads: >=3x on ``vgg16_codec``, >=5x on ``vgg16_fetch``.
+``--quick`` cuts repetitions but keeps all workloads — the VGG build is
+setup-bound at component effort "low", so the floors stay gated in CI.
+
+Usage::
+
+    python benchmarks/bench_codec.py [--quick] [--out BENCH_codec.json]
+    python benchmarks/bench_codec.py --quick --check benchmarks/BENCH_codec.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.cnn import group_components, lenet5, vgg16
+from repro.fabric import Device
+from repro.netlist import load_checkpoint, save_checkpoint
+from repro.netlist.checkpoint import design_from_dict, design_to_dict
+from repro.rapidwright import PreImplementedFlow
+from repro.rapidwright.database import signature_key
+from repro.rapidwright.module import candidate_anchors, relocate_reference
+
+SEED = 0
+CODEC_SPEEDUP_FLOOR = 3.0  # acceptance gate for vgg16_codec in --check mode
+FETCH_SPEEDUP_FLOOR = 5.0  # acceptance gate for vgg16_fetch in --check mode
+ANCHORS_PER_COMPONENT = 6
+
+
+def _canon(design) -> str:
+    """Canonical JSON of a design; tuples and lists collapse together."""
+    return json.dumps(design_to_dict(design), sort_keys=True, default=list)
+
+
+def _timed(fn):
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        fn()
+        return time.perf_counter() - t0
+    finally:
+        gc.enable()
+
+
+def _interleaved_min(fn_opt, fn_ref, reps):
+    # Interleave (opt, ref, opt, ref, ...) so drift hits both sides.
+    opt_s = ref_s = float("inf")
+    for _ in range(reps):
+        opt_s = min(opt_s, _timed(fn_opt))
+        ref_s = min(ref_s, _timed(fn_ref))
+    return opt_s, ref_s
+
+
+# -- workload construction -----------------------------------------------------
+
+
+def build_workload(model_fn, part, granularity, rom_weights):
+    """Pre-implemented build: the stitched top plus its component database."""
+    device = Device.from_name(part)
+    flow = PreImplementedFlow(device, component_effort="low", seed=SEED)
+    net = model_fn()
+    db, _timer = flow.build_database(net, granularity=granularity,
+                                    rom_weights=rom_weights)
+    result = flow.run(net, granularity=granularity, rom_weights=rom_weights,
+                      database=db)
+    components = group_components(net, granularity)
+    return {"device": device, "db": db, "top": result.design,
+            "components": components}
+
+
+# -- scenario 1: cold checkpoint round trip ------------------------------------
+
+
+def bench_codec(name, w, reps, workdir):
+    top = w["top"]
+    binary_path = Path(workdir) / f"{name}.dcpb"
+    json_path = Path(workdir) / f"{name}.dcpz"
+
+    def bin_roundtrip():
+        save_checkpoint(top, binary_path)
+        return load_checkpoint(binary_path)
+
+    def json_roundtrip():
+        save_checkpoint(top, json_path)
+        return load_checkpoint(json_path)
+
+    # Identity gate before any timing: both formats must reload the same
+    # design, bit for bit.
+    assert _canon(bin_roundtrip()) == _canon(json_roundtrip()) == _canon(top), \
+        f"{name}: binary checkpoint diverged from the JSON oracle"
+
+    opt_s, ref_s = _interleaved_min(bin_roundtrip, json_roundtrip, reps)
+    return {
+        "cells": len(top.cells),
+        "nets": len(top.nets),
+        "dcpb_bytes": binary_path.stat().st_size,
+        "dcpz_bytes": json_path.stat().st_size,
+        "opt_s": round(opt_s, 4),
+        "ref_s": round(ref_s, 4),
+        "speedup": round(ref_s / opt_s, 3),
+    }
+
+
+# -- scenario 2: database fetch + relocate -------------------------------------
+
+
+def bench_fetch(name, w, reps):
+    device, db = w["device"], w["db"]
+    jobs = []  # (signature, payload, anchor)
+    for comp in w["components"]:
+        record = db.records[signature_key(comp.signature)]
+        design = design_from_dict(record.payload)
+        anchors = candidate_anchors(device, design)[:ANCHORS_PER_COMPONENT]
+        jobs.extend((comp.signature, record.payload, a) for a in anchors)
+
+    # Identity gate before any timing: every fetched copy must match the
+    # relocate_reference oracle replaying the same move.
+    for sig, payload, anchor in jobs:
+        fast = db.fetch(sig, anchor, device=device)
+        ref = relocate_reference(design_from_dict(payload), device, anchor)
+        assert _canon(fast) == _canon(ref), \
+            f"{name}: fetch{sig, anchor} diverged from relocate_reference"
+
+    def fast_fetch():
+        for sig, _payload, anchor in jobs:
+            db.fetch(sig, anchor, device=device)
+
+    def ref_fetch():
+        for _sig, payload, anchor in jobs:
+            relocate_reference(design_from_dict(payload), device, anchor)
+
+    opt_s, ref_s = _interleaved_min(fast_fetch, ref_fetch, reps)
+    return {
+        "components": len(w["components"]),
+        "copies": len(jobs),
+        "opt_s": round(opt_s, 4),
+        "ref_s": round(ref_s, 4),
+        "speedup": round(ref_s / opt_s, 3),
+    }
+
+
+# -- harness -------------------------------------------------------------------
+
+
+def check_against(current, baseline_path, floors, tolerance=0.20):
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures = []
+    for key, now_data in current["workloads"].items():
+        base_data = baseline["workloads"].get(key)
+        if base_data is None:
+            print(f"  {key}: not in baseline, skipped")
+            continue
+        base = base_data["speedup"]
+        now = now_data["speedup"]
+        floor = (1.0 - tolerance) * base
+        status = "ok" if now >= floor else "REGRESSED"
+        print(f"  {key}: speedup {now:.2f}x vs baseline {base:.2f}x "
+              f"(floor {floor:.2f}x) {status}")
+        if now < floor:
+            failures.append(key)
+    for key, hard_floor in floors.items():
+        data = current["workloads"].get(key)
+        if data is not None and data["speedup"] < hard_floor:
+            print(f"  {key}: speedup {data['speedup']:.2f}x below the "
+                  f"hard {hard_floor:.1f}x floor FAILED")
+            failures.append(f"{key}-floor")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repetitions (all workloads still run)")
+    parser.add_argument("--out", default="BENCH_codec.json",
+                        help="where to write the results JSON")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="fail if speedups regress >20%% vs this baseline")
+    args = parser.parse_args(argv)
+
+    floors = {"vgg16_codec": CODEC_SPEEDUP_FLOOR,
+              "vgg16_fetch": FETCH_SPEEDUP_FLOOR}
+    plan = [
+        ("lenet5", lenet5, "small", "layer", True, 3 if args.quick else 7),
+        ("vgg16", vgg16, "ku5p-like", "block", False, 3 if args.quick else 7),
+    ]
+    results = {"schema": 1, "quick": args.quick, "workloads": {}}
+    with tempfile.TemporaryDirectory(prefix="bench-codec-") as workdir:
+        for name, model_fn, part, granularity, rom_weights, reps in plan:
+            print(f"building {name} workload...")
+            w = build_workload(model_fn, part, granularity, rom_weights)
+            print(f"benchmarking {name} ({reps} reps)...")
+            results["workloads"][f"{name}_codec"] = bench_codec(
+                name, w, reps, workdir)
+            results["workloads"][f"{name}_fetch"] = bench_fetch(name, w, reps)
+
+    print(json.dumps(results, indent=2))
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        print(f"checking against {args.check} (tolerance 20%)")
+        failures = check_against(results, args.check, floors)
+        if failures:
+            print(f"FAIL: speedup regression in: {', '.join(failures)}")
+            return 1
+        print("baseline check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,15 @@ the amortization lives.  Entries are keyed by a SHA-256 over a
 component signature, device part, effort, seed, port planning, plus a
 code-version salt (:data:`CODE_SALT`) so stale results are invalidated
 when the implementation recipe changes — and persist to a directory of
-gzip JSON blobs shared across processes and runs.
+binary value blobs shared across processes and runs.
+
+Values are stored in the codec's tagged binary format
+(:func:`repro.netlist.codec.pack_value` under level-configurable zlib)
+— worker outputs carry binary design images as ``bytes``, which JSON
+cannot hold, and the binary format also keeps tuples and non-string
+dict keys intact where a JSON round trip would mangle them.  Caches
+written by earlier releases as ``<key>.json.gz`` stay readable: reads
+fall back to the legacy JSON location when no binary entry exists.
 
 Canonicalization normalizes numeric types (``numpy.int64(1)`` and ``1``
 serialize identically, as do tuples and lists), so keys do not depend on
@@ -23,14 +31,19 @@ import numbers
 import os
 import tempfile
 import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
 from .. import sanitize
+from ..netlist.codec import pack_value, unpack_value
 
 __all__ = ["CODE_SALT", "canonical", "canonical_blob", "content_key", "CacheStats", "BuildCache"]
+
+#: Leading magic of a binary cache entry (``<key>.bin``).
+BIN_MAGIC = b"RBC1"
 
 #: Bump when the build recipe changes in a way that invalidates cached
 #: results (new pblock heuristics, port-planning changes, ...).
@@ -90,10 +103,13 @@ class CacheStats:
 
 
 class BuildCache:
-    """Content-addressed store of JSON-serializable build results.
+    """Content-addressed store of codec-serializable build results.
 
     In-memory by default; give a *directory* to persist entries as
-    ``<key>.json.gz`` so warm rebuilds work across processes.  With
+    ``<key>.bin`` (tagged binary under zlib; *level* tunes the
+    compression/speed trade, default 1 = fast) so warm rebuilds work
+    across processes.  Legacy ``<key>.json.gz`` entries written by
+    earlier releases are still read (binary location first).  With
     *max_entries*, least-recently-used entries are evicted once the bound
     is exceeded: always from memory, and from disk only for keys this
     instance wrote itself — entries merely *read* from a directory another
@@ -120,11 +136,13 @@ class BuildCache:
         max_entries: int | None = None,
         shared: bool = False,
         shard: int = 0,
+        level: int = 1,
     ) -> None:
         self.directory = Path(directory) if directory is not None else None
         self.max_entries = max_entries
         self.shared = bool(shared)
         self.shard = max(0, int(shard))
+        self.level = int(level)
         self.stats = CacheStats()
         self._mem: OrderedDict[str, Any] = OrderedDict()
         self._owned: set[str] = set()
@@ -157,9 +175,15 @@ class BuildCache:
                 if not path.exists():
                     continue
                 try:
-                    value = json.loads(gzip.decompress(path.read_bytes()).decode())
+                    raw = path.read_bytes()
+                    if path.suffix == ".bin":
+                        if not raw.startswith(BIN_MAGIC):
+                            raise ValueError("bad cache entry magic")
+                        value = unpack_value(zlib.decompress(raw[len(BIN_MAGIC):]))
+                    else:
+                        value = json.loads(gzip.decompress(raw).decode())
                 except (OSError, EOFError, gzip.BadGzipFile, json.JSONDecodeError,
-                        UnicodeDecodeError):
+                        UnicodeDecodeError, ValueError, zlib.error):
                     # Corrupt or truncated on-disk entry: treat as a miss.
                     # Only unlink in private mode — in a shared directory a
                     # sibling process may have already replaced the path
@@ -174,7 +198,7 @@ class BuildCache:
     # -- store -------------------------------------------------------------
 
     def put(self, key: str, value: Any) -> None:
-        """Store *value* (must be JSON-serializable) under *key*.
+        """Store *value* (must be codec-serializable) under *key*.
 
         The on-disk write is crash- and race-safe: the blob lands in a
         uniquely named temp file in the destination directory and is
@@ -186,7 +210,7 @@ class BuildCache:
         if self.directory is not None:
             path = self._path(key)
             path.parent.mkdir(parents=True, exist_ok=True)
-            blob = gzip.compress(json.dumps(value).encode(), mtime=0)
+            blob = BIN_MAGIC + zlib.compress(pack_value(value), self.level)
             fd, tmp_name = tempfile.mkstemp(
                 dir=path.parent, prefix=f".{key[:16]}-", suffix=".tmp"
             )
@@ -224,21 +248,30 @@ class BuildCache:
         """Canonical on-disk location of *key* (shard-aware)."""
         assert self.directory is not None
         if self.shard:
-            return self.directory / key[: self.shard] / f"{key}.json.gz"
-        return self.directory / f"{key}.json.gz"
+            return self.directory / key[: self.shard] / f"{key}.bin"
+        return self.directory / f"{key}.bin"
 
     def _read_paths(self, key: str) -> list[Path]:
-        """Locations to consult on read: sharded first, then flat legacy."""
+        """Locations to consult on read.
+
+        Binary before legacy JSON, sharded before flat — so turning on
+        sharding (or upgrading a ``.json.gz`` cache in place) keeps every
+        old entry reachable.
+        """
         paths = [self._path(key)]
-        flat = self.directory / f"{key}.json.gz"
-        if flat != paths[0]:
-            paths.append(flat)
+        if self.shard:
+            paths.append(self.directory / key[: self.shard] / f"{key}.json.gz")
+            paths.append(self.directory / f"{key}.bin")
+        paths.append(self.directory / f"{key}.json.gz")
         return paths
 
     def __len__(self) -> int:
         with self._lock:
             keys = set(self._mem)
         if self.directory is not None and self.directory.exists():
+            keys.update(
+                p.name[: -len(".bin")] for p in self.directory.rglob("*.bin")
+            )
             keys.update(
                 p.name[: -len(".json.gz")]
                 for p in self.directory.rglob("*.json.gz")

@@ -5,8 +5,13 @@ module-level (lambdas and closures cannot be pickled).  These wrappers
 are the process-safe counterparts of the flow's build primitives: each
 takes plain picklable inputs (:class:`~repro.cnn.graph.Component`,
 :class:`~repro.fabric.device.Device`, scalars) and returns a plain dict
-whose ``payload`` is the serialized locked design — JSON-shaped, so the
-same value feeds the checkpoint database and the build cache.
+whose ``blob`` is the locked design in the binary columnar codec
+(:mod:`repro.netlist.codec`) — one bytes object crosses the pipe
+instead of a dict-of-dicts the pickler has to walk, and the same value
+feeds the checkpoint database and the build cache.
+:meth:`~repro.rapidwright.database.ComponentDatabase.put_result` also
+accepts the legacy ``payload`` dict form, so caches written by older
+workers stay valid.
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ from dataclasses import dataclass
 
 from ..cnn.graph import Component
 from ..fabric.device import Device
-from ..netlist.checkpoint import design_to_dict
+from ..netlist.codec import encode_design
 from ..netlist.design import Design
 
 __all__ = [
@@ -58,7 +63,7 @@ def build_component(
 
     design = ComponentFactory(component, rom_weights)()
     result = preimplement(design, device, effort=effort, seed=seed, plan_ports=plan_ports)
-    return {"payload": design_to_dict(result.design), "fmax_mhz": result.fmax_mhz}
+    return {"blob": encode_design(result.design), "fmax_mhz": result.fmax_mhz}
 
 
 def explore_build_component(
@@ -79,7 +84,7 @@ def explore_build_component(
         **(explore or {}),
     )
     return {
-        "payload": design_to_dict(result.best.design),
+        "blob": encode_design(result.best.design),
         "fmax_mhz": result.best.fmax_mhz,
     }
 
@@ -108,4 +113,10 @@ def run_explore_trial(
         slack=slack,
         max_height=height,
     )
-    return {"ooc": ooc, "anchors": len(candidate_anchors(device, design))}
+    anchors = len(candidate_anchors(device, design))
+    # Ship the locked design as one binary blob instead of letting the
+    # pickler walk thousands of Cell/Net objects; the sweep driver
+    # reattaches it (see explore._explore_pooled).
+    blob = encode_design(ooc.design)
+    ooc.design = None
+    return {"ooc": ooc, "design_blob": blob, "anchors": anchors}

@@ -31,6 +31,8 @@ FAST_TIERS = (
     "repro.place.native",
     "repro.timing.incremental",
     "repro.eco.engine",
+    "repro.netlist.codec",
+    "repro.rapidwright.database",
 )
 
 

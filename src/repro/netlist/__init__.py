@@ -8,6 +8,7 @@ from .checkpoint import (
     save_checkpoint,
     save_checkpoint_dict,
 )
+from .codec import DesignImage, clone_design, decode_design, encode_design
 from .design import Design, DesignError
 from .library import CELL_LIBRARY, CellTypeSpec, cell_type
 from .net import Net, Port
@@ -26,4 +27,8 @@ __all__ = [
     "load_checkpoint",
     "design_to_dict",
     "design_from_dict",
+    "DesignImage",
+    "encode_design",
+    "decode_design",
+    "clone_design",
 ]

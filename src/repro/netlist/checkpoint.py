@@ -30,8 +30,14 @@ __all__ = [
 FORMAT_VERSION = 1
 
 
-def design_to_dict(design: Design) -> dict:
-    """Serialize a design to a JSON-compatible dict."""
+def design_to_dict(design: Design, *, copy_metadata: bool = True) -> dict:
+    """Serialize a design to a JSON-compatible dict.
+
+    ``copy_metadata=False`` skips the metadata deep copy for call sites
+    that consume the dict immediately (``json.dumps`` in
+    :func:`save_checkpoint`, the binary encoder) — the payload then
+    aliases live design metadata and must not outlive the call.
+    """
     return {
         "format": FORMAT_VERSION,
         "name": design.name,
@@ -40,11 +46,12 @@ def design_to_dict(design: Design) -> dict:
             if design.pblock
             else None
         ),
-        # Deep-copied: the serialized payload may outlive the design (it
-        # becomes the database record), so nested metadata dicts must not
-        # alias live design state — DRC rule DB-002 catches exactly the
-        # after-the-fact record mutation such aliasing causes.
-        "metadata": copy.deepcopy(design.metadata),
+        # Deep-copied by default: the serialized payload may outlive the
+        # design (it becomes the database record), so nested metadata
+        # dicts must not alias live design state — DRC rule DB-002
+        # catches exactly the after-the-fact record mutation such
+        # aliasing causes.
+        "metadata": copy.deepcopy(design.metadata) if copy_metadata else design.metadata,
         "cells": [
             {
                 "name": c.name,
@@ -133,8 +140,20 @@ def design_from_dict(data: dict) -> Design:
 
 
 def save_checkpoint(design: Design, path: str | Path) -> Path:
-    """Write *design* to *path* (gzip JSON when suffix is ``.dcpz``)."""
-    return save_checkpoint_dict(design_to_dict(design), path)
+    """Write *design* to *path*.
+
+    The suffix picks the codec: ``.dcpz`` is gzip JSON, ``.dcpb`` is the
+    binary columnar image (:mod:`repro.netlist.codec`), anything else is
+    plain JSON.  All three are deterministic and round-trip identically.
+    """
+    path = Path(path)
+    if path.suffix == ".dcpb":
+        from .codec import encode_design
+
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(encode_design(design))
+        return path
+    return save_checkpoint_dict(design_to_dict(design, copy_metadata=False), path)
 
 
 def save_checkpoint_dict(data: dict, path: str | Path) -> Path:
@@ -157,6 +176,10 @@ def save_checkpoint_dict(data: dict, path: str | Path) -> Path:
 def load_checkpoint(path: str | Path) -> Design:
     """Read a design checkpoint written by :func:`save_checkpoint`."""
     path = Path(path)
+    if path.suffix == ".dcpb":
+        from .codec import decode_design
+
+        return decode_design(path.read_bytes())
     if path.suffix == ".dcpz":
         payload = gzip.decompress(path.read_bytes()).decode()
     else:

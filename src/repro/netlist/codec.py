@@ -1,0 +1,1051 @@
+"""Binary columnar design codec — the fast tier of the checkpoint format.
+
+The JSON checkpoint (:mod:`repro.netlist.checkpoint`) is the *reference*
+codec: diffable, inspectable, and the oracle every fast path is asserted
+bit-identical to.  This module is the *fast* codec: a
+:class:`DesignImage` holds a design as flat typed arrays — cell names
+and ctypes interned into one string table; placements, resource counts
+and flags as parallel numpy columns; net pin lists and locked routes as
+offset-indexed flat arrays — so a design serializes with a handful of
+``tobytes()`` calls instead of a dict-of-dicts walk, and *materializes*
+(decodes back into live :class:`~repro.netlist.design.Design` objects)
+without re-validating every cell against the library.
+
+The image is also the unit of **relocation arithmetic**: because routed
+node ids shift by ``dcol * nrows + drow`` and placements by
+``(dcol, drow)``, :meth:`DesignImage.materialize` applies a relocation
+as three vectorized array adds while it decodes — one interned template
+per component signature replaces a full ``design_to_dict`` /
+``design_from_dict`` round trip per fetched copy.
+
+Everything here is bound by the repo's oracle contract (lint rules
+ORC-001..003): decode must be bit-identical to
+:func:`repro.netlist.checkpoint.design_from_dict` on the same payload,
+which ``tests/test_property_codec.py`` asserts on random designs.
+"""
+
+from __future__ import annotations
+
+import copy
+import numbers
+import struct
+import threading
+from time import perf_counter
+
+import numpy as np
+
+from ..fabric.pblock import PBlock
+from .cell import Cell
+from .checkpoint import FORMAT_VERSION
+from .design import Design
+from .net import Net, Port
+
+__all__ = [
+    "MAGIC",
+    "CODEC_VERSION",
+    "DesignImage",
+    "encode_design",
+    "decode_design",
+    "clone_design",
+    "pack_value",
+    "unpack_value",
+    "CodecTelemetry",
+    "TELEMETRY",
+]
+
+#: Reference implementation this fast tier is asserted bit-identical to
+#: (oracle contract, lint rules ORC-001..003).
+ORACLE = "repro.netlist.checkpoint.design_from_dict"
+
+#: Leading magic of a binary design image.
+MAGIC = b"RNC1"
+
+#: Bump on incompatible layout changes; readers reject unknown versions.
+CODEC_VERSION = 1
+
+_DIR_CODE = {"in": 0, "out": 1}
+_DIR_NAME = ("in", "out")
+_PROTO_CODE = {"stream": 0, "mem": 1}
+_PROTO_NAME = ("stream", "mem")
+
+#: Columnar fields in serialization order: (attribute, little-endian dtype).
+_COLUMNS = (
+    ("cell_name", "<i4"),
+    ("cell_ctype", "<i4"),
+    ("cell_placed", "u1"),
+    ("cell_col", "<i4"),
+    ("cell_row", "<i4"),
+    ("cell_locked", "u1"),
+    ("cell_luts", "<i4"),
+    ("cell_ffs", "<i4"),
+    ("cell_depth", "<i4"),
+    ("cell_seq", "u1"),
+    ("cell_module", "<i4"),
+    ("net_name", "<i4"),
+    ("net_driver", "<i4"),
+    ("net_width", "<i4"),
+    ("net_clock", "u1"),
+    ("net_locked", "u1"),
+    ("net_nsinks", "<i4"),
+    ("net_nroutes", "<i4"),
+    ("sink_name", "<i4"),
+    ("route_len", "<i8"),
+    ("route_node", "<i8"),
+    ("port_name", "<i4"),
+    ("port_dir", "u1"),
+    ("port_net", "<i4"),
+    ("port_width", "<i4"),
+    ("port_tile", "u1"),
+    ("port_col", "<i4"),
+    ("port_row", "<i4"),
+    ("port_proto", "u1"),
+)
+
+
+# -- telemetry --------------------------------------------------------------
+
+
+class CodecTelemetry:
+    """Thread-safe accumulator of time spent in the serialization tier.
+
+    ``repro run --profile`` snapshots this at stage boundaries so
+    encode/decode/fetch time shows up attributed per flow stage instead
+    of vanishing into whatever function happened to call the codec.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._data: dict[str, tuple[float, int]] = {}
+
+    def note(self, kind: str, seconds: float) -> None:
+        with self._lock:
+            total, count = self._data.get(kind, (0.0, 0))
+            self._data[kind] = (total + seconds, count + 1)
+
+    def snapshot(self) -> dict[str, tuple[float, int]]:
+        """Current ``{kind: (seconds, calls)}`` totals (copied)."""
+        with self._lock:
+            return dict(self._data)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+#: Process-wide serialization telemetry (encode/decode/materialize/fetch).
+TELEMETRY = CodecTelemetry()
+
+
+# -- value packing ----------------------------------------------------------
+#
+# Metadata dicts are free-form, and the JSON oracle round-trips them by
+# *deepcopy*, not by json.dumps — so tuples stay tuples and floats stay
+# bit-exact.  A plain JSON side-channel would silently turn ``("clk", 3)``
+# into ``["clk", 3]`` and break dict-equality against the oracle.  This
+# tagged binary packer preserves exactly what deepcopy preserves for the
+# JSON-ish value universe (None/bool/int/float/str/bytes/list/tuple/dict),
+# and raises TypeError on anything else — the same contract json.dumps
+# gives the reference codec.
+
+_TAG_NONE = ord("N")
+_TAG_TRUE = ord("T")
+_TAG_FALSE = ord("F")
+_TAG_INT = ord("i")
+_TAG_BIGINT = ord("I")
+_TAG_FLOAT = ord("f")
+_TAG_STR = ord("s")
+_TAG_BYTES = ord("b")
+_TAG_LIST = ord("l")
+_TAG_TUPLE = ord("t")
+_TAG_DICT = ord("d")
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+def pack_value(obj) -> bytes:
+    """Serialize a JSON-ish value tree to tagged binary (tuple-preserving)."""
+    out = bytearray()
+    _pack(obj, out)
+    return bytes(out)
+
+
+def _pack(obj, out: bytearray) -> None:
+    if obj is None:
+        out.append(_TAG_NONE)
+        return
+    t = type(obj)
+    if t is bool:
+        out.append(_TAG_TRUE if obj else _TAG_FALSE)
+        return
+    if t is int:
+        _pack_int(obj, out)
+        return
+    if t is float:
+        out.append(_TAG_FLOAT)
+        out += struct.pack("<d", obj)
+        return
+    if t is str:
+        raw = obj.encode("utf-8")
+        out.append(_TAG_STR)
+        out += struct.pack("<I", len(raw))
+        out += raw
+        return
+    if t is bytes or t is bytearray:
+        out.append(_TAG_BYTES)
+        out += struct.pack("<I", len(obj))
+        out += obj
+        return
+    if t is list or t is tuple:
+        out.append(_TAG_LIST if t is list else _TAG_TUPLE)
+        out += struct.pack("<I", len(obj))
+        for item in obj:
+            _pack(item, out)
+        return
+    if t is dict:
+        out.append(_TAG_DICT)
+        out += struct.pack("<I", len(obj))
+        for key, value in obj.items():
+            _pack(key, out)
+            _pack(value, out)
+        return
+    # Slow path: subclasses and numpy scalars.  Numeric types collapse to
+    # the builtin (value-equal, same as the cache's canonical form).
+    if isinstance(obj, bool):
+        out.append(_TAG_TRUE if obj else _TAG_FALSE)
+    elif isinstance(obj, numbers.Integral):
+        _pack_int(int(obj), out)
+    elif isinstance(obj, numbers.Real):
+        out.append(_TAG_FLOAT)
+        out += struct.pack("<d", float(obj))
+    elif isinstance(obj, str):
+        _pack(str(obj), out)
+    elif isinstance(obj, (bytes, bytearray)):
+        _pack(bytes(obj), out)
+    elif isinstance(obj, list):
+        _pack(list(obj), out)
+    elif isinstance(obj, tuple):
+        _pack(tuple(obj), out)
+    elif isinstance(obj, dict):
+        _pack(dict(obj), out)
+    else:
+        raise TypeError(
+            f"object of type {type(obj).__name__} is not codec-serializable"
+        )
+
+
+def _pack_int(value: int, out: bytearray) -> None:
+    if _I64_MIN <= value <= _I64_MAX:
+        out.append(_TAG_INT)
+        out += struct.pack("<q", value)
+    else:
+        raw = str(value).encode("ascii")
+        out.append(_TAG_BIGINT)
+        out += struct.pack("<I", len(raw))
+        out += raw
+
+
+def unpack_value(blob: bytes):
+    """Inverse of :func:`pack_value`; raises ValueError on malformed input."""
+    value, off = _unpack(blob, 0)
+    if off != len(blob):
+        raise ValueError("trailing bytes after packed value")
+    return value
+
+
+def _need(blob: bytes, off: int, n: int) -> None:
+    if off + n > len(blob):
+        raise ValueError("truncated packed value")
+
+
+def _unpack(blob: bytes, off: int):
+    _need(blob, off, 1)
+    tag = blob[off]
+    off += 1
+    if tag == _TAG_NONE:
+        return None, off
+    if tag == _TAG_TRUE:
+        return True, off
+    if tag == _TAG_FALSE:
+        return False, off
+    if tag == _TAG_INT:
+        _need(blob, off, 8)
+        return struct.unpack_from("<q", blob, off)[0], off + 8
+    if tag == _TAG_FLOAT:
+        _need(blob, off, 8)
+        return struct.unpack_from("<d", blob, off)[0], off + 8
+    if tag in (_TAG_STR, _TAG_BYTES, _TAG_BIGINT):
+        _need(blob, off, 4)
+        n = struct.unpack_from("<I", blob, off)[0]
+        off += 4
+        _need(blob, off, n)
+        raw = blob[off : off + n]
+        off += n
+        if tag == _TAG_BYTES:
+            return bytes(raw), off
+        try:
+            text = raw.decode("utf-8" if tag == _TAG_STR else "ascii")
+        except UnicodeDecodeError as exc:
+            raise ValueError(f"malformed packed string: {exc}") from None
+        if tag == _TAG_BIGINT:
+            try:
+                return int(text), off
+            except ValueError:
+                raise ValueError("malformed packed big integer") from None
+        return text, off
+    if tag in (_TAG_LIST, _TAG_TUPLE):
+        _need(blob, off, 4)
+        n = struct.unpack_from("<I", blob, off)[0]
+        off += 4
+        items = []
+        for _ in range(n):
+            item, off = _unpack(blob, off)
+            items.append(item)
+        return (items if tag == _TAG_LIST else tuple(items)), off
+    if tag == _TAG_DICT:
+        _need(blob, off, 4)
+        n = struct.unpack_from("<I", blob, off)[0]
+        off += 4
+        out = {}
+        for _ in range(n):
+            key, off = _unpack(blob, off)
+            value, off = _unpack(blob, off)
+            out[key] = value
+        return out, off
+    raise ValueError(f"unknown value tag {tag:#x}")
+
+
+# -- the columnar image -----------------------------------------------------
+
+
+class DesignImage:
+    """Immutable columnar snapshot of one design.
+
+    Build it once (from a live design or a JSON payload), then
+    :meth:`materialize` fresh deep copies — optionally relocated — as
+    many times as needed.  The arrays are never mutated after
+    construction; relocation arithmetic produces shifted copies.
+
+    Interning uses ``dict.setdefault(s, len(index))``: a new string gets
+    the dict's current size as its index, so the table is just
+    ``list(index)`` in insertion order and the hot constructors never
+    pay a method call per string.
+    """
+
+    __slots__ = (
+        "name",
+        "pblock",
+        "strings",
+        "_meta_blob",
+        "_meta_obj",
+        "_used_offsets",
+        "_proto",
+    ) + tuple(col for col, _ in _COLUMNS)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_design(cls, design: Design) -> "DesignImage":
+        """Snapshot a live design (no intermediate dict, no metadata copy)."""
+        pblock = design.pblock
+        cells = list(design.cells.values())
+        nets = list(design.nets.values())
+        ports = list(design.ports.values())
+        index: dict[str, int] = {}
+        setd = index.setdefault
+
+        cn = [setd(c.name, len(index)) for c in cells]
+        ct = [setd(c.ctype, len(index)) for c in cells]
+        placements = [c.placement if c.placement else None for c in cells]
+        cp = [1 if p else 0 for p in placements]
+        cc = [p[0] if p else 0 for p in placements]
+        cr = [p[1] if p else 0 for p in placements]
+        cl = [1 if c.locked else 0 for c in cells]
+        lu = [c.luts for c in cells]
+        ff = [c.ffs for c in cells]
+        dp = [c.comb_depth for c in cells]
+        sq = [1 if c.seq else 0 for c in cells]
+        cm = [-1 if c.module is None else setd(c.module, len(index))
+              for c in cells]
+
+        nn = [setd(n.name, len(index)) for n in nets]
+        nd = [-1 if n.driver is None else setd(n.driver, len(index))
+              for n in nets]
+        nw = [n.width for n in nets]
+        nc = [1 if n.is_clock else 0 for n in nets]
+        nl = [1 if n.locked else 0 for n in nets]
+        ns = [len(n.sinks) for n in nets]
+        nr = [len(n.routes) for n in nets]
+        sk = [setd(s, len(index)) for n in nets for s in n.sinks]
+        rl: list[int] = []
+        rn: list[int] = []
+        for n in nets:
+            for path in n.routes:
+                if path is None:
+                    rl.append(-1)
+                else:
+                    rl.append(len(path))
+                    rn.extend(path)
+
+        pn = [setd(p.name, len(index)) for p in ports]
+        pd = [_DIR_CODE[p.direction] for p in ports]
+        pe = [setd(p.net, len(index)) for p in ports]
+        pw = [p.width for p in ports]
+        tiles = [p.tile if p.tile else None for p in ports]
+        pt = [1 if t else 0 for t in tiles]
+        pc = [t[0] if t else 0 for t in tiles]
+        pr = [t[1] if t else 0 for t in tiles]
+        pp = [_PROTO_CODE[p.protocol] for p in ports]
+
+        return cls._assemble(
+            design.name,
+            (pblock.col0, pblock.row0, pblock.col1, pblock.row1) if pblock else None,
+            design.metadata,
+            list(index),
+            (cn, ct, cp, cc, cr, cl, lu, ff, dp, sq, cm,
+             nn, nd, nw, nc, nl, ns, nr, sk, rl, rn,
+             pn, pd, pe, pw, pt, pc, pr, pp),
+        )
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DesignImage":
+        """Snapshot a :func:`~repro.netlist.checkpoint.design_to_dict` payload."""
+        version = payload.get("format")
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint format {version!r}")
+        cells = payload["cells"]
+        nets = payload["nets"]
+        ports = payload["ports"]
+        index: dict[str, int] = {}
+        setd = index.setdefault
+
+        cn = [setd(c["name"], len(index)) for c in cells]
+        ct = [setd(c["ctype"], len(index)) for c in cells]
+        placements = [c["placement"] for c in cells]
+        cp = [1 if p else 0 for p in placements]
+        cc = [p[0] if p else 0 for p in placements]
+        cr = [p[1] if p else 0 for p in placements]
+        cl = [1 if c["locked"] else 0 for c in cells]
+        lu = [c["luts"] for c in cells]
+        ff = [c["ffs"] for c in cells]
+        dp = [c["comb_depth"] for c in cells]
+        sq = [1 if c["seq"] else 0 for c in cells]
+        cm = [-1 if c.get("module") is None else setd(c["module"], len(index))
+              for c in cells]
+
+        nn = [setd(n["name"], len(index)) for n in nets]
+        nd = [-1 if n["driver"] is None else setd(n["driver"], len(index))
+              for n in nets]
+        nw = [n["width"] for n in nets]
+        nc = [1 if n["is_clock"] else 0 for n in nets]
+        nl = [1 if n["locked"] else 0 for n in nets]
+        ns = [len(n["sinks"]) for n in nets]
+        nr = [len(n["routes"]) for n in nets]
+        sk = [setd(s, len(index)) for n in nets for s in n["sinks"]]
+        rl: list[int] = []
+        rn: list[int] = []
+        for n in nets:
+            for path in n["routes"]:
+                if path is None:
+                    rl.append(-1)
+                else:
+                    rl.append(len(path))
+                    rn.extend(path)
+
+        pn = [setd(p["name"], len(index)) for p in ports]
+        pd = [_DIR_CODE[p["direction"]] for p in ports]
+        pe = [setd(p["net"], len(index)) for p in ports]
+        pw = [p["width"] for p in ports]
+        tiles = [p["tile"] for p in ports]
+        pt = [1 if t else 0 for t in tiles]
+        pc = [t[0] if t else 0 for t in tiles]
+        pr = [t[1] if t else 0 for t in tiles]
+        pp = [_PROTO_CODE[p.get("protocol", "stream")] for p in ports]
+
+        return cls._assemble(
+            payload["name"],
+            tuple(payload["pblock"]) if payload.get("pblock") else None,
+            payload.get("metadata", {}),
+            list(index),
+            (cn, ct, cp, cc, cr, cl, lu, ff, dp, sq, cm,
+             nn, nd, nw, nc, nl, ns, nr, sk, rl, rn,
+             pn, pd, pe, pw, pt, pc, pr, pp),
+        )
+
+    @classmethod
+    def _assemble(cls, name, pblock, metadata, strings, columns):
+        img = object.__new__(cls)
+        img.name = name
+        img.pblock = pblock
+        img.strings = strings
+        img._used_offsets = None
+        img._proto = None
+        try:
+            img._meta_blob = pack_value(metadata)
+            img._meta_obj = None
+        except TypeError:
+            # Metadata holds objects outside the codec's value universe
+            # (the JSON codec would refuse them at save time too).  Keep a
+            # private deep copy so in-memory templating still works;
+            # to_bytes() raises, exactly like json.dumps would.
+            img._meta_blob = None
+            img._meta_obj = copy.deepcopy(metadata)
+        for (attr, dtype), values in zip(_COLUMNS, columns):
+            setattr(img, attr, np.asarray(values, dtype=dtype))
+        return img
+
+    # -- wire format ------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize the image (deterministic: same design, same bytes)."""
+        t0 = perf_counter()
+        if self._meta_blob is None:
+            raise TypeError(
+                f"design {self.name}: metadata is not codec-serializable"
+            )
+        out = bytearray()
+        out += MAGIC
+        out += struct.pack("<H", CODEC_VERSION)
+        raw_name = self.name.encode("utf-8")
+        out += struct.pack("<I", len(raw_name))
+        out += raw_name
+        out += struct.pack("<B", 1 if self.pblock else 0)
+        if self.pblock:
+            out += struct.pack("<4i", *self.pblock)
+        out += struct.pack("<I", len(self._meta_blob))
+        out += self._meta_blob
+        raw_strings = [s.encode("utf-8") for s in self.strings]
+        out += struct.pack("<I", len(raw_strings))
+        for raw in raw_strings:
+            out += struct.pack("<I", len(raw))
+        out += b"".join(raw_strings)
+        for attr, _ in _COLUMNS:
+            raw = getattr(self, attr).tobytes()
+            out += struct.pack("<Q", len(raw))
+            out += raw
+        TELEMETRY.note("encode", perf_counter() - t0)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "DesignImage":
+        """Parse :meth:`to_bytes` output; raises ValueError when malformed."""
+        t0 = perf_counter()
+        _need(blob, 0, 6)
+        if blob[:4] != MAGIC:
+            raise ValueError("not a binary design image (bad magic)")
+        version = struct.unpack_from("<H", blob, 4)[0]
+        if version != CODEC_VERSION:
+            raise ValueError(f"unsupported binary codec version {version}")
+        off = 6
+        img = object.__new__(cls)
+        img._used_offsets = None
+        img._proto = None
+        _need(blob, off, 4)
+        n = struct.unpack_from("<I", blob, off)[0]
+        off += 4
+        _need(blob, off, n)
+        img.name = blob[off : off + n].decode("utf-8")
+        off += n
+        _need(blob, off, 1)
+        has_pblock = blob[off]
+        off += 1
+        if has_pblock:
+            _need(blob, off, 16)
+            img.pblock = struct.unpack_from("<4i", blob, off)
+            off += 16
+        else:
+            img.pblock = None
+        _need(blob, off, 4)
+        n = struct.unpack_from("<I", blob, off)[0]
+        off += 4
+        _need(blob, off, n)
+        img._meta_blob = bytes(blob[off : off + n])
+        img._meta_obj = None
+        off += n
+        _need(blob, off, 4)
+        count = struct.unpack_from("<I", blob, off)[0]
+        off += 4
+        _need(blob, off, 4 * count)
+        lens = struct.unpack_from(f"<{count}I", blob, off) if count else ()
+        off += 4 * count
+        strings = []
+        for ln in lens:
+            _need(blob, off, ln)
+            strings.append(blob[off : off + ln].decode("utf-8"))
+            off += ln
+        img.strings = strings
+        for attr, dtype in _COLUMNS:
+            _need(blob, off, 8)
+            nbytes = struct.unpack_from("<Q", blob, off)[0]
+            off += 8
+            _need(blob, off, nbytes)
+            arr = np.frombuffer(blob, dtype=dtype, count=nbytes // np.dtype(dtype).itemsize, offset=off)
+            setattr(img, attr, arr)
+            off += nbytes
+        if off != len(blob):
+            raise ValueError("trailing bytes after binary design image")
+        TELEMETRY.note("decode", perf_counter() - t0)
+        return img
+
+    # -- views ------------------------------------------------------------
+
+    def metadata(self) -> dict:
+        """Fresh metadata object (the codec's deep copy)."""
+        if self._meta_blob is not None:
+            return unpack_value(self._meta_blob)
+        return copy.deepcopy(self._meta_obj)
+
+    def to_payload(self) -> dict:
+        """Rebuild the exact :func:`design_to_dict` payload shape."""
+        strings = self.strings
+        cells = []
+        placed = self.cell_placed.tolist()
+        cols = self.cell_col.tolist()
+        rows = self.cell_row.tolist()
+        mods = self.cell_module.tolist()
+        for i, (name, ctype, locked, luts, ffs, depth, seq) in enumerate(zip(
+            self.cell_name.tolist(), self.cell_ctype.tolist(),
+            self.cell_locked.tolist(), self.cell_luts.tolist(),
+            self.cell_ffs.tolist(), self.cell_depth.tolist(),
+            self.cell_seq.tolist(),
+        )):
+            cells.append({
+                "name": strings[name],
+                "ctype": strings[ctype],
+                "placement": [cols[i], rows[i]] if placed[i] else None,
+                "locked": bool(locked),
+                "luts": luts,
+                "ffs": ffs,
+                "comb_depth": depth,
+                "seq": bool(seq),
+                "module": strings[mods[i]] if mods[i] >= 0 else None,
+            })
+        nets = []
+        sinks_flat = self.sink_name.tolist()
+        route_lens = self.route_len.tolist()
+        route_nodes = self.route_node.tolist()
+        spos = rpos = npos = 0
+        for name, driver, width, is_clock, locked, nsinks, nroutes in zip(
+            self.net_name.tolist(), self.net_driver.tolist(),
+            self.net_width.tolist(), self.net_clock.tolist(),
+            self.net_locked.tolist(), self.net_nsinks.tolist(),
+            self.net_nroutes.tolist(),
+        ):
+            routes = []
+            for _ in range(nroutes):
+                ln = route_lens[rpos]
+                rpos += 1
+                if ln < 0:
+                    routes.append(None)
+                else:
+                    routes.append(route_nodes[npos : npos + ln])
+                    npos += ln
+            nets.append({
+                "name": strings[name],
+                "driver": strings[driver] if driver >= 0 else None,
+                "sinks": [strings[s] for s in sinks_flat[spos : spos + nsinks]],
+                "routes": routes,
+                "width": width,
+                "is_clock": bool(is_clock),
+                "locked": bool(locked),
+            })
+            spos += nsinks
+        ports = []
+        tiled = self.port_tile.tolist()
+        tcols = self.port_col.tolist()
+        trows = self.port_row.tolist()
+        for i, (name, direction, net, width, proto) in enumerate(zip(
+            self.port_name.tolist(), self.port_dir.tolist(),
+            self.port_net.tolist(), self.port_width.tolist(),
+            self.port_proto.tolist(),
+        )):
+            ports.append({
+                "name": strings[name],
+                "direction": _DIR_NAME[direction],
+                "net": strings[net],
+                "width": width,
+                "tile": [tcols[i], trows[i]] if tiled[i] else None,
+                "protocol": _PROTO_NAME[proto],
+            })
+        return {
+            "format": FORMAT_VERSION,
+            "name": self.name,
+            "pblock": list(self.pblock) if self.pblock else None,
+            "metadata": self.metadata(),
+            "cells": cells,
+            "nets": nets,
+            "ports": ports,
+        }
+
+    def used_column_offsets(self) -> dict[int, int]:
+        """Relative column offset -> tile-type code used by placed cells.
+
+        Computed once per image (the template is immutable) — the
+        per-fetch relocation validation reads the cached dict.
+        """
+        if self._used_offsets is None:
+            from ..fabric.device import TILE_FOR_CELL
+
+            col0 = self.pblock[0] if self.pblock else 0
+            strings = self.strings
+            used: dict[int, int] = {}
+            placed = self.cell_placed.tolist()
+            cols = self.cell_col.tolist()
+            ctypes = self.cell_ctype.tolist()
+            for i, flag in enumerate(placed):
+                if flag:
+                    used[cols[i] - col0] = TILE_FOR_CELL[strings[ctypes[i]]]
+            self._used_offsets = used
+        return self._used_offsets
+
+    # -- materialization --------------------------------------------------
+
+    def _decoded(self):
+        """Per-image cache of everything shift-*invariant*, fully decoded.
+
+        Strings are resolved through the table once, flags widened to
+        bools, per-object invariants pre-zipped into row tuples, sink
+        lists and route paths reduced to ranges over flat lists (routes
+        as reusable :class:`slice` objects).  The first interned
+        materialization pays this; every later copy of the same template
+        (the database fetch path) assembles objects straight from these
+        rows.  All cached containers are treated as immutable —
+        materialize slices fresh lists out of the flats, and the shared
+        placement/tile tuples are immutable by construction.
+        """
+        proto = self._proto
+        if proto is None:
+            sget = self.strings.__getitem__
+            sinks_flat = list(map(sget, self.sink_name.tolist()))
+            sink_spans = []
+            pos = 0
+            for n in self.net_nsinks.tolist():
+                sink_spans.append((pos, pos + n))
+                pos += n
+            route_lens = self.route_len.tolist()
+            route_slices: list[slice | None] = []
+            route_spans = []
+            npos = rpos = 0
+            for nroutes in self.net_nroutes.tolist():
+                route_spans.append((rpos, rpos + nroutes))
+                for _ in range(nroutes):
+                    ln = route_lens[rpos]
+                    rpos += 1
+                    if ln < 0:
+                        route_slices.append(None)
+                    else:
+                        route_slices.append(slice(npos, npos + ln))
+                        npos += ln
+            placed = self.cell_placed.tolist()
+            placem0 = list(zip(self.cell_col.tolist(), self.cell_row.tolist()))
+            unplaced_idx = [i for i, flag in enumerate(placed) if not flag]
+            for i in unplaced_idx:
+                placem0[i] = None
+            tiled = self.port_tile.tolist()
+            tiles0 = list(zip(self.port_col.tolist(), self.port_row.tolist()))
+            untiled_idx = [i for i, flag in enumerate(tiled) if not flag]
+            for i in untiled_idx:
+                tiles0[i] = None
+            cell_rows = list(zip(
+                list(map(sget, self.cell_name.tolist())),
+                list(map(sget, self.cell_ctype.tolist())),
+                self.cell_locked.astype(bool).tolist(),
+                self.cell_luts.tolist(),
+                self.cell_ffs.tolist(),
+                self.cell_depth.tolist(),
+                self.cell_seq.astype(bool).tolist(),
+                [sget(i) if i >= 0 else None for i in self.cell_module.tolist()],
+            ))
+            net_rows = list(zip(
+                list(map(sget, self.net_name.tolist())),
+                [sget(i) if i >= 0 else None for i in self.net_driver.tolist()],
+                self.net_width.tolist(),
+                self.net_clock.astype(bool).tolist(),
+                self.net_locked.astype(bool).tolist(),
+                sink_spans,
+                route_spans,
+            ))
+            port_rows = list(zip(
+                list(map(sget, self.port_name.tolist())),
+                [_DIR_NAME[i] for i in self.port_dir.tolist()],
+                list(map(sget, self.port_net.tolist())),
+                self.port_width.tolist(),
+                [_PROTO_NAME[i] for i in self.port_proto.tolist()],
+            ))
+            proto = self._proto = (
+                cell_rows, placem0, unplaced_idx,
+                net_rows, sinks_flat, route_slices,
+                self.route_node.tolist(),
+                port_rows, tiles0, untiled_idx,
+            )
+        return proto
+
+    def materialize(
+        self, dcol: int = 0, drow: int = 0, nrows: int = 0, *,
+        intern: bool = False,
+    ) -> Design:
+        """Fresh :class:`Design`, shifted by ``(dcol, drow)``.
+
+        With a shift, placements, partition-pin tiles and the pblock move
+        by ``(dcol, drow)``, routed node ids by ``dcol * nrows + drow``
+        (*nrows* is the device height), and the ``clk_src`` / ``ooc``
+        metadata records are fixed up — exactly the transform
+        :func:`repro.rapidwright.module.relocate_reference` applies.
+        Bit-identical to the JSON oracle by the codec property tests.
+
+        ``intern=True`` builds (and caches) the decoded template first —
+        right when the image will materialize repeatedly, as database
+        checkpoints do; a one-shot decode skips that overhead.
+        """
+        t0 = perf_counter()
+        shifted = bool(dcol or drow)
+        design = Design.__new__(Design)
+        design.name = self.name
+        if self.pblock is None:
+            design.pblock = None
+        else:
+            c0, r0, c1, r1 = self.pblock
+            design.pblock = PBlock(c0 + dcol, r0 + drow, c1 + dcol, r1 + drow)
+        meta = self.metadata()
+        if shifted:
+            if "clk_src" in meta:
+                c, r = meta["clk_src"]
+                meta["clk_src"] = (c + dcol, r + drow)
+            if "ooc" in meta:
+                pb = design.pblock
+                meta["ooc"]["pblock"] = [pb.col0, pb.row0, pb.col1, pb.row1]
+        design.metadata = meta
+        if intern or self._proto is not None:
+            self._fill_from_proto(design, dcol, drow, nrows, shifted)
+        else:
+            self._fill_direct(design, dcol, drow, nrows, shifted)
+        TELEMETRY.note("materialize", perf_counter() - t0)
+        return design
+
+    def _fill_from_proto(self, design, dcol, drow, nrows, shifted):
+        """Assemble cells/nets/ports from the cached decoded template."""
+        (cell_rows, placem0, unplaced_idx,
+         net_rows, sinks_flat, route_slices, nodes0,
+         port_rows, tiles0, untiled_idx) = self._decoded()
+
+        # Relocation is three vectorized adds on the columnar arrays; the
+        # object loops below only assemble slots from decoded rows.
+        if shifted:
+            placem = list(zip((self.cell_col + dcol).tolist(),
+                              (self.cell_row + drow).tolist()))
+            for i in unplaced_idx:
+                placem[i] = None
+            nodes = (self.route_node + (dcol * nrows + drow)).tolist()
+            tiles = list(zip((self.port_col + dcol).tolist(),
+                             (self.port_row + drow).tolist()))
+            for i in untiled_idx:
+                tiles[i] = None
+        else:
+            placem, nodes, tiles = placem0, nodes0, tiles0
+
+        new = object.__new__
+        cells: dict[str, Cell] = {}
+        for row, pl in zip(cell_rows, placem):
+            name, ctype, locked, luts, ffs, depth, seq, module = row
+            cell = new(Cell)
+            cell.name = name
+            cell.ctype = ctype
+            cell.placement = pl
+            cell.locked = locked
+            cell.luts = luts
+            cell.ffs = ffs
+            cell.comb_depth = depth
+            cell.seq = seq
+            cell.module = module
+            cells[name] = cell
+        design.cells = cells
+
+        # One flat pass over every route, then per-net list slices: the
+        # inner lists are freshly built here, so each net owns its own.
+        flat_routes = [None if s is None else nodes[s] for s in route_slices]
+        nets: dict[str, Net] = {}
+        for name, driver, width, is_clock, locked, (s0, s1), (r0, r1) in net_rows:
+            net = new(Net)
+            net.name = name
+            net.driver = driver
+            net.sinks = sinks_flat[s0:s1]
+            net.routes = flat_routes[r0:r1]
+            net.width = width
+            net.is_clock = is_clock
+            net.locked = locked
+            nets[name] = net
+        design.nets = nets
+
+        ports: dict[str, Port] = {}
+        for row, tile in zip(port_rows, tiles):
+            name, direction, net_name, width, proto = row
+            port = new(Port)
+            port.name = name
+            port.direction = direction
+            port.net = net_name
+            port.width = width
+            port.tile = tile
+            port.protocol = proto
+            ports[name] = port
+        design.ports = ports
+
+    def _fill_direct(self, design, dcol, drow, nrows, shifted):
+        """Assemble cells/nets/ports straight off the arrays (one-shot)."""
+        strings = self.strings
+        sget = strings.__getitem__
+        if shifted:
+            cols = (self.cell_col + dcol).tolist()
+            rows = (self.cell_row + drow).tolist()
+            nodes = (self.route_node + (dcol * nrows + drow)).tolist()
+            tcols = (self.port_col + dcol).tolist()
+            trows = (self.port_row + drow).tolist()
+        else:
+            cols = self.cell_col.tolist()
+            rows = self.cell_row.tolist()
+            nodes = self.route_node.tolist()
+            tcols = self.port_col.tolist()
+            trows = self.port_row.tolist()
+
+        new = object.__new__
+        cells: dict[str, Cell] = {}
+        for name, ctype, placed, locked, luts, ffs, depth, seq, module, \
+                col, rw in zip(
+            map(sget, self.cell_name.tolist()),
+            map(sget, self.cell_ctype.tolist()),
+            self.cell_placed.tolist(),
+            self.cell_locked.astype(bool).tolist(),
+            self.cell_luts.tolist(), self.cell_ffs.tolist(),
+            self.cell_depth.tolist(),
+            self.cell_seq.astype(bool).tolist(),
+            self.cell_module.tolist(), cols, rows,
+        ):
+            cell = new(Cell)
+            cell.name = name
+            cell.ctype = ctype
+            cell.placement = (col, rw) if placed else None
+            cell.locked = locked
+            cell.luts = luts
+            cell.ffs = ffs
+            cell.comb_depth = depth
+            cell.seq = seq
+            cell.module = sget(module) if module >= 0 else None
+            cells[name] = cell
+        design.cells = cells
+
+        nets: dict[str, Net] = {}
+        sinks_flat = list(map(sget, self.sink_name.tolist()))
+        route_lens = self.route_len.tolist()
+        spos = rpos = npos = 0
+        for name, driver, width, is_clock, locked, nsinks, nroutes in zip(
+            map(sget, self.net_name.tolist()), self.net_driver.tolist(),
+            self.net_width.tolist(),
+            self.net_clock.astype(bool).tolist(),
+            self.net_locked.astype(bool).tolist(),
+            self.net_nsinks.tolist(), self.net_nroutes.tolist(),
+        ):
+            routes: list[list[int] | None] = []
+            for _ in range(nroutes):
+                ln = route_lens[rpos]
+                rpos += 1
+                if ln < 0:
+                    routes.append(None)
+                else:
+                    routes.append(nodes[npos : npos + ln])
+                    npos += ln
+            net = new(Net)
+            net.name = name
+            net.driver = sget(driver) if driver >= 0 else None
+            net.sinks = sinks_flat[spos : spos + nsinks]
+            net.routes = routes
+            net.width = width
+            net.is_clock = is_clock
+            net.locked = locked
+            nets[name] = net
+            spos += nsinks
+        design.nets = nets
+
+        ports: dict[str, Port] = {}
+        for name, direction, net_idx, width, tiled, tcol, trow, proto in zip(
+            map(sget, self.port_name.tolist()), self.port_dir.tolist(),
+            self.port_net.tolist(), self.port_width.tolist(),
+            self.port_tile.tolist(), tcols, trows, self.port_proto.tolist(),
+        ):
+            port = new(Port)
+            port.name = name
+            port.direction = _DIR_NAME[direction]
+            port.net = sget(net_idx)
+            port.width = width
+            port.tile = (tcol, trow) if tiled else None
+            port.protocol = _PROTO_NAME[proto]
+            ports[name] = port
+        design.ports = ports
+
+
+# -- convenience API --------------------------------------------------------
+
+
+def encode_design(design: Design) -> bytes:
+    """Design -> binary image bytes (no intermediate dict)."""
+    return DesignImage.from_design(design).to_bytes()
+
+
+def decode_design(blob: bytes) -> Design:
+    """Binary image bytes -> fresh design (inverse of :func:`encode_design`)."""
+    return DesignImage.from_bytes(blob).materialize()
+
+
+def clone_design(design: Design) -> Design:
+    """Structural deep copy of *design*.
+
+    Bit-identical to ``design_from_dict(design_to_dict(design))`` — the
+    JSON-codec round trip :func:`repro.rapidwright.module.relocate` used
+    to pay — without building either dict.  Metadata is deep-copied
+    (same semantics as the round trip's double deepcopy); containers are
+    fresh; immutable leaves (strings, placement/tile tuples, the frozen
+    pblock) are shared.
+    """
+    t0 = perf_counter()
+    new = object.__new__
+    out = Design.__new__(Design)
+    out.name = design.name
+    out.pblock = design.pblock
+    out.metadata = copy.deepcopy(design.metadata)
+    cells: dict[str, Cell] = {}
+    for name, c in design.cells.items():
+        cell = new(Cell)
+        cell.name = c.name
+        cell.ctype = c.ctype
+        cell.placement = c.placement if c.placement else None
+        cell.locked = c.locked
+        cell.luts = c.luts
+        cell.ffs = c.ffs
+        cell.comb_depth = c.comb_depth
+        cell.seq = c.seq
+        cell.module = c.module
+        cells[name] = cell
+    out.cells = cells
+    nets: dict[str, Net] = {}
+    for name, n in design.nets.items():
+        net = new(Net)
+        net.name = n.name
+        net.driver = n.driver
+        net.sinks = list(n.sinks)
+        net.routes = [list(r) if r is not None else None for r in n.routes]
+        net.width = n.width
+        net.is_clock = n.is_clock
+        net.locked = n.locked
+        nets[name] = net
+    out.nets = nets
+    ports: dict[str, Port] = {}
+    for name, p in design.ports.items():
+        port = new(Port)
+        port.name = p.name
+        port.direction = p.direction
+        port.net = p.net
+        port.width = p.width
+        port.tile = p.tile if p.tile else None
+        port.protocol = p.protocol
+        ports[name] = port
+    out.ports = ports
+    TELEMETRY.note("clone", perf_counter() - t0)
+    return out

@@ -14,7 +14,11 @@ functions.
 
 The report written to *path* is plain text: one section per stage in
 first-entry order, each with the stage's profiled wall time and the
-top functions by cumulative time.
+top functions by cumulative time.  Each section also attributes the
+stage's serialization-tier time (codec encode/decode/materialize/fetch,
+from :data:`repro.netlist.codec.TELEMETRY` deltas taken at the stage
+boundaries), so data-plane cost shows up even when cProfile buries it
+under generic call names.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from contextlib import contextmanager
 from io import StringIO
 
 from ._util import _STAGE_OBSERVERS
+from .netlist.codec import TELEMETRY as _CODEC_TELEMETRY
 
 __all__ = ["StageProfiler", "profile_stages"]
 
@@ -37,6 +42,9 @@ class StageProfiler:
         self._order: list[str] = []
         self._stack: list[str] = []
         self._active: cProfile.Profile | None = None
+        self._serial: dict[str, dict[str, tuple[float, int]]] = {}
+        self._serial_mark: dict[str, tuple[float, int]] | None = None
+        self._active_top: str | None = None
 
     # -- observer hooks (called by StageTimer.stage) --------------------
 
@@ -50,6 +58,8 @@ class StageProfiler:
             prof = self._profiles[top] = cProfile.Profile()
             self._order.append(top)
         self._active = prof
+        self._active_top = top
+        self._serial_mark = _CODEC_TELEMETRY.snapshot()
         prof.enable()
 
     def exit_stage(self, name: str) -> None:
@@ -59,8 +69,23 @@ class StageProfiler:
             return
         self._active.disable()
         self._active = None
+        if self._active_top is not None and self._serial_mark is not None:
+            mark = self._serial_mark
+            bucket = self._serial.setdefault(self._active_top, {})
+            for kind, (seconds, calls) in _CODEC_TELEMETRY.snapshot().items():
+                s0, n0 = mark.get(kind, (0.0, 0))
+                ds, dn = seconds - s0, calls - n0
+                if dn or ds > 0.0:
+                    ts, tn = bucket.get(kind, (0.0, 0))
+                    bucket[kind] = (ts + ds, tn + dn)
+        self._active_top = None
+        self._serial_mark = None
 
     # -- reporting ------------------------------------------------------
+
+    def serialization(self, stage: str) -> dict[str, tuple[float, int]]:
+        """Codec time attributed to *stage*: ``{kind: (seconds, calls)}``."""
+        return dict(self._serial.get(stage, {}))
 
     def report(self, top: int = 15) -> str:
         """Text report: per-stage profiled time + cumulative-time tops."""
@@ -71,6 +96,13 @@ class StageProfiler:
             stats = pstats.Stats(prof, stream=buf)
             stats.sort_stats("cumulative").print_stats(top)
             body = buf.getvalue().strip()
+            serial = self._serial.get(stage)
+            if serial:
+                line = "  ".join(
+                    f"{kind} {seconds:.4f}s/{calls}"
+                    for kind, (seconds, calls) in sorted(serial.items())
+                )
+                body += f"\n\nserialization: {line}"
             sections.append(f"==== stage: {stage} ====\n{body}\n")
         if not sections:
             return "no stages profiled\n"

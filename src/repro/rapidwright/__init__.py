@@ -3,7 +3,13 @@
 from .database import ComponentDatabase, signature_key
 from .explore import ExploreResult, ExploreTrial, explore_component
 from .flow import PreImplementedFlow
-from .module import RelocationError, candidate_anchors, relocate, used_column_offsets
+from .module import (
+    RelocationError,
+    candidate_anchors,
+    relocate,
+    relocate_reference,
+    used_column_offsets,
+)
 from .ooc import OOCResult, preimplement
 from .placer import ComponentPlacement, ComponentPlacer, PlacementInfeasible
 from .stitcher import StitchRecord, StitchResult, compose, compose_shared
@@ -18,6 +24,7 @@ __all__ = [
     "RelocationError",
     "candidate_anchors",
     "relocate",
+    "relocate_reference",
     "used_column_offsets",
     "OOCResult",
     "preimplement",

@@ -19,17 +19,19 @@ import hashlib
 import numbers
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 
 from .._util import StageTimer
 from ..cnn.graph import Component
 from ..engine.cache import BuildCache, canonical_blob, content_key
 from ..fabric.device import Device
+from ..fabric.pblock import PBlock
 from ..netlist.checkpoint import (
-    design_from_dict,
     design_to_dict,
     load_checkpoint,
     save_checkpoint_dict,
 )
+from ..netlist.codec import TELEMETRY, DesignImage
 from ..netlist.design import Design
 
 __all__ = [
@@ -38,6 +40,11 @@ __all__ = [
     "build_cache_key",
     "payload_fingerprint",
 ]
+
+#: Reference implementation the interned fetch path is asserted
+#: bit-identical to (oracle contract, lint rules ORC-001..003):
+#: ``fetch(sig, anchor)`` must equal ``relocate_reference(get(sig), ...)``.
+ORACLE = "repro.rapidwright.module.relocate_reference"
 
 
 def signature_key(signature: tuple) -> str:
@@ -128,9 +135,13 @@ def _signature_from_json(obj):
 @dataclass
 class _Record:
     signature: tuple
-    payload: dict            # serialized locked design
+    payload: dict            # serialized locked design (reference form)
     fmax_mhz: float
     hits: int = 0
+    #: Lazily decoded columnar template: built on the first fetch of this
+    #: signature, then every copy materializes from the interned arrays
+    #: instead of re-walking the payload dict.
+    image: DesignImage | None = field(default=None, repr=False, compare=False)
 
 
 @dataclass
@@ -177,18 +188,80 @@ class ComponentDatabase:
             save_checkpoint_dict(payload, self.directory / f"{key}.dcpz")
         return key
 
+    def put_result(self, signature: tuple, out: dict) -> str:
+        """Store an engine-worker build output.
+
+        Workers return ``{"blob": <binary image>, "fmax_mhz": ...}``;
+        legacy cache entries (and older workers) carry ``"payload"``,
+        the JSON dict — both are accepted, and both land as the same
+        reference payload (the binary image rebuilds it bit-identically,
+        so content fingerprints don't depend on the transport format).
+        """
+        blob = out.get("blob")
+        if blob is not None:
+            payload = DesignImage.from_bytes(blob).to_payload()
+        else:
+            payload = out["payload"]
+        return self.put_payload(signature, payload, out["fmax_mhz"])
+
     def has(self, signature: tuple) -> bool:
         return signature_key(signature) in self.records
 
-    def get(self, signature: tuple) -> Design:
-        """Fresh deep copy of the checkpoint for *signature*."""
-        key = signature_key(signature)
+    def _record(self, signature: tuple) -> _Record:
         try:
-            record = self.records[key]
+            return self.records[signature_key(signature)]
         except KeyError:
             raise KeyError(f"no checkpoint for signature {signature!r}") from None
+
+    def _image(self, record: _Record) -> DesignImage:
+        if record.image is None:
+            record.image = DesignImage.from_payload(record.payload)
+        return record.image
+
+    def get(self, signature: tuple) -> Design:
+        """Fresh deep copy of the checkpoint for *signature*."""
+        t0 = perf_counter()
+        record = self._record(signature)
         record.hits += 1
-        return design_from_dict(record.payload)
+        design = self._image(record).materialize(intern=True)
+        TELEMETRY.note("fetch", perf_counter() - t0)
+        return design
+
+    def fetch(
+        self,
+        signature: tuple,
+        anchor: tuple[int, int] | None = None,
+        *,
+        device: Device | None = None,
+        validate: bool = True,
+    ) -> Design:
+        """Fresh copy of the checkpoint, relocated to *anchor* in one step.
+
+        ``fetch(sig)`` is :meth:`get`; ``fetch(sig, anchor)`` is
+        ``relocate(get(sig), device, anchor)`` — but the relocation is
+        applied as offset arithmetic on the interned columnar template
+        while it materializes, skipping the per-copy codec round trip.
+        Bit-identical to the :func:`repro.rapidwright.module.
+        relocate_reference` oracle; raises the same
+        :class:`~repro.rapidwright.module.RelocationError` diagnostics.
+        """
+        if anchor is None:
+            return self.get(signature)
+        from .module import RelocationError, checked_shift
+
+        t0 = perf_counter()
+        record = self._record(signature)
+        record.hits += 1
+        image = self._image(record)
+        device = device or self.device
+        if image.pblock is None:
+            raise RelocationError(f"design {image.name} has no pblock footprint")
+        pblock = PBlock(*image.pblock)
+        used = image.used_column_offsets() if validate else None
+        dcol, drow, _ = checked_shift(image.name, pblock, device, anchor, used)
+        design = image.materialize(dcol, drow, device.nrows, intern=True)
+        TELEMETRY.note("fetch", perf_counter() - t0)
+        return design
 
     def fmax_of(self, signature: tuple) -> float:
         return self.records[signature_key(signature)].fmax_mhz
@@ -293,8 +366,7 @@ class ComponentDatabase:
         report = runner.run(graph)
         self.last_build_report = report
         for key, comp in pending.items():
-            out = report.results[key]
-            self.put_payload(comp.signature, out["payload"], out["fmax_mhz"])
+            self.put_result(comp.signature, report.results[key])
         for task in report.tasks:
             timer.add(task.stage, task.run_s)
         timer.add("build/wall", report.wall_s)

@@ -236,6 +236,12 @@ def _explore_pooled(
     for i, (slack, height, effort, seed) in enumerate(grid):
         out = report.results[f"trial{i}"]
         ooc: OOCResult = out["ooc"]
+        if ooc.design is None and "design_blob" in out:
+            # Workers detach the design and ship it as one binary blob
+            # (cheap pickle transfer); rebuild the full OOCResult here.
+            from ..netlist.codec import decode_design
+
+            ooc.design = decode_design(out["design_blob"])
         anchors: int = out["anchors"]
         trial = ExploreTrial(
             seed=seed,

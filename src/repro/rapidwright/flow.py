@@ -259,7 +259,10 @@ class PreImplementedFlow:
                     raise KeyError(
                         f"component {comp.name} ({comp.kind}) missing from database"
                     )
-                items.append((comp.name, database.get(comp.signature)))
+                # Materialized from the interned template; compose() gets
+                # these same copies via modules=, so each component is
+                # fetched exactly once per run.
+                items.append((comp.name, database.fetch(comp.signature)))
             scheduler = None
             if share_components:
                 scheduler = self._scheduler_for(components)

@@ -17,9 +17,16 @@ from __future__ import annotations
 from ..fabric.device import Device
 from ..fabric.pblock import PBlock
 from ..netlist.checkpoint import design_from_dict, design_to_dict
+from ..netlist.codec import clone_design
 from ..netlist.design import Design, DesignError
 
-__all__ = ["candidate_anchors", "relocate", "used_column_offsets", "RelocationError"]
+__all__ = [
+    "candidate_anchors",
+    "relocate",
+    "relocate_reference",
+    "used_column_offsets",
+    "RelocationError",
+]
 
 
 class RelocationError(DesignError):
@@ -92,6 +99,38 @@ def candidate_anchors(
     return [(c, r) for c in cols for r in rows]
 
 
+def checked_shift(
+    name: str,
+    pblock: PBlock,
+    device: Device,
+    anchor: tuple[int, int],
+    used: dict[int, int] | None,
+) -> tuple[int, int, PBlock]:
+    """Validate a move of *pblock* to *anchor*; return ``(dcol, drow, target)``.
+
+    *used* is the :func:`used_column_offsets` map, or ``None`` to skip
+    the column-footprint check.  Shared by :func:`relocate` and the
+    database's interned fetch path so both raise identical
+    :class:`RelocationError` diagnostics.
+    """
+    dcol = anchor[0] - pblock.col0
+    drow = anchor[1] - pblock.row0
+    target = pblock.shifted(dcol, drow)
+    if not target.within(device):
+        raise RelocationError(
+            f"relocating {name} to {anchor} leaves device {device.name}"
+        )
+    if used is not None:
+        for off, tile in used.items():
+            if device.tile_type(target.col0 + off) != tile:
+                raise RelocationError(
+                    f"column footprint mismatch relocating {name} to "
+                    f"{anchor}: offset {off} needs tile type {tile}, found "
+                    f"{device.tile_type(target.col0 + off)}"
+                )
+    return dcol, drow, target
+
+
 def relocate(
     design: Design, device: Device, anchor: tuple[int, int], *, validate: bool = True
 ) -> Design:
@@ -99,6 +138,52 @@ def relocate(
 
     Raises :class:`RelocationError` when the destination columns do not
     match the footprint or the move leaves the device.
+
+    This is the fast tier: a structural clone
+    (:func:`repro.netlist.codec.clone_design`) plus the coordinate
+    shift, with a zero-offset move returning the clone outright.  It is
+    bit-identical to :func:`relocate_reference`, which keeps the
+    checkpoint-codec round trip as the retained oracle.
+    """
+    pblock = design.pblock
+    if pblock is None:
+        raise RelocationError(f"design {design.name} has no pblock footprint")
+    used = used_column_offsets(design) if validate else None
+    dcol, drow, target = checked_shift(design.name, pblock, device, anchor, used)
+    copy = clone_design(design)
+    if dcol == 0 and drow == 0:
+        return copy
+    nrows = device.nrows
+    node_shift = dcol * nrows + drow
+    for cell in copy.cells.values():
+        if cell.is_placed:
+            cell.placement = (cell.placement[0] + dcol, cell.placement[1] + drow)
+    for net in copy.nets.values():
+        net.routes = [
+            [node + node_shift for node in path] if path is not None else None
+            for path in net.routes
+        ]
+    for port in copy.ports.values():
+        if port.tile is not None:
+            port.tile = (port.tile[0] + dcol, port.tile[1] + drow)
+    copy.pblock = target
+    if "clk_src" in copy.metadata:
+        c, r = copy.metadata["clk_src"]
+        copy.metadata["clk_src"] = (c + dcol, r + drow)
+    if "ooc" in copy.metadata:
+        copy.metadata["ooc"]["pblock"] = [target.col0, target.row0, target.col1, target.row1]
+    return copy
+
+
+def relocate_reference(
+    design: Design, device: Device, anchor: tuple[int, int], *, validate: bool = True
+) -> Design:
+    """Reference relocation: deep copy through the JSON checkpoint codec.
+
+    Exercises the same path a DCP reload would take — serialize, parse,
+    then shift coordinates.  Retained as the oracle the fast tiers
+    (:func:`relocate`, ``ComponentDatabase.fetch``) are asserted
+    bit-identical to in ``tests/test_property_codec.py``.
     """
     pblock = design.pblock
     if pblock is None:
@@ -119,8 +204,6 @@ def relocate(
                     f"{device.tile_type(target.col0 + off)}"
                 )
 
-    # Deep copy through the checkpoint codec (exercises the same path a
-    # DCP reload would take), then shift coordinates.
     copy = design_from_dict(design_to_dict(design))
     if dcol == 0 and drow == 0:
         return copy

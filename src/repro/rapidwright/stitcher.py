@@ -89,10 +89,11 @@ def compose(
         except KeyError:
             raise DesignError(f"no anchor assigned for component {comp.name}") from None
         if modules is not None and comp.name in modules:
-            module = modules[comp.name]
+            module = relocate(modules[comp.name], device, anchor)
         else:
-            module = database.get(comp.signature)
-        module = relocate(module, device, anchor)
+            # Template path: materialize the interned checkpoint already
+            # relocated — no intermediate copy to clone and shift.
+            module = database.fetch(comp.signature, anchor, device=device)
         if module.pblock is not None:
             footprints[comp.name] = [
                 module.pblock.col0, module.pblock.row0,
@@ -200,7 +201,7 @@ def compose_shared(
         anchor = anchors.get(comp.name)
         if anchor is None:
             raise DesignError(f"no anchor assigned for shared component {comp.name}")
-        module = relocate(database.get(comp.signature), device, anchor)
+        module = database.fetch(comp.signature, anchor, device=device)
         if module.pblock is not None:
             footprints[comp.name] = [
                 module.pblock.col0, module.pblock.row0,

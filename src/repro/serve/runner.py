@@ -80,7 +80,8 @@ def _run_eco(spec: JobSpec, flow, result, database) -> dict:
     serves an unverified incremental result when asked to prove it.
     """
     from ..eco import DesignDelta, EcoEngine, LayerReplace, eco_reference, run_cts
-    from ..netlist.checkpoint import design_from_dict, design_to_dict
+    from ..netlist.checkpoint import design_to_dict
+    from ..netlist.codec import decode_design, encode_design
     from ..rapidwright import ComponentDatabase
 
     eco_spec = spec.eco or {}
@@ -109,7 +110,9 @@ def _run_eco(spec: JobSpec, flow, result, database) -> dict:
     )
 
     verify = bool(eco_spec.get("verify"))
-    pre_doc = design_to_dict(top) if verify else None
+    # Pre-edit snapshot for the oracle replay: one binary image instead
+    # of a dict-of-dicts round trip (same bit-identical copy, cheaper).
+    pre_blob = encode_design(top) if verify else None
     drc_mode = spec.drc if spec.drc != "off" else "warn"
     engine = EcoEngine(
         top, device, graph=flow.graph, delays=flow.delays,
@@ -126,7 +129,7 @@ def _run_eco(spec: JobSpec, flow, result, database) -> dict:
     )
     if verify:
         ref = eco_reference(
-            design_from_dict(pre_doc), delta, device, graph=flow.graph,
+            decode_design(pre_blob), delta, device, graph=flow.graph,
             delays=flow.delays, seed=spec.seed, drc=drc_mode, database=database,
         )
         key = lambda r: (r.period_ps, r.clock_overhead_ps, r.clock_insertion_ps,

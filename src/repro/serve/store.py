@@ -93,15 +93,24 @@ class JobRecord:
 class JobStore:
     """Journal-backed job registry plus the farm's shared build cache."""
 
-    def __init__(self, root: str | Path, *, cache_entries: int | None = None) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        cache_entries: int | None = None,
+        cache_level: int = 1,
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.results_dir = self.root / "results"
         self.results_dir.mkdir(exist_ok=True)
         self.journal_path = self.root / "journal.jsonl"
+        # cache_level tunes the zlib effort of the shared binary tier:
+        # the farm default favors write speed (results are re-read far
+        # less often than they are produced under load).
         self.cache = BuildCache(
             self.root / "cache", shared=True, shard=CACHE_SHARD,
-            max_entries=cache_entries,
+            max_entries=cache_entries, level=cache_level,
         )
         self._lock = threading.Lock()
         self._jobs: dict[str, JobRecord] = {}

@@ -170,7 +170,7 @@ class TestSharding:
         cache = BuildCache(tmp_path, shard=2)
         key = "ab" + "0" * 62
         cache.put(key, {"v": 1})
-        assert (tmp_path / "ab" / f"{key}.json.gz").exists()
+        assert (tmp_path / "ab" / f"{key}.bin").exists()
 
     def test_sharded_cache_reads_flat_legacy_entries(self, tmp_path):
         flat = BuildCache(tmp_path)           # old layout
@@ -191,4 +191,4 @@ class TestSharding:
         with pytest.raises(TypeError):
             cache.put("aa" + "4" * 62, {"bad": object()})
         assert list(tmp_path.rglob("*.tmp")) == []
-        assert list(tmp_path.rglob("*.json.gz")) == []
+        assert list(tmp_path.rglob("*.bin")) == []

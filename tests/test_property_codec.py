@@ -1,0 +1,365 @@
+"""Property tests for the columnar binary codec and interned fetch tier.
+
+Hypothesis over random checkpoint-shaped designs: the binary codec
+(:mod:`repro.netlist.codec`) must agree **bit for bit** with the JSON
+reference path — ``decode(encode(d))`` serializes to exactly the dict
+``design_from_dict(design_to_dict(d))`` does, ``DesignImage.to_payload``
+reproduces ``design_to_dict`` from both a live design and a payload,
+and ``clone_design`` equals a full round trip while staying independent
+of its source.  One level up, the database's interned fetch
+(:mod:`repro.rapidwright.database`) is checked against its declared
+oracle: ``fetch(sig, anchor)`` must equal ``relocate_reference`` run on
+a fresh decode of the stored payload, for every legal anchor, with the
+same :class:`RelocationError` diagnostics at illegal ones.  The cache
+regression tests at the bottom pin the binary blob format's failure
+modes: legacy ``.json.gz`` entries stay readable, torn or garbage
+``.bin`` blobs read as misses, and legacy ``"payload"`` worker outputs
+land identically to binary ``"blob"`` ones.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.cache import BuildCache
+from repro.fabric import Device, PBlock
+from repro.netlist import Cell, Design, Net, Port
+from repro.netlist.checkpoint import design_from_dict, design_to_dict
+from repro.netlist.codec import (
+    DesignImage,
+    clone_design,
+    decode_design,
+    encode_design,
+    pack_value,
+    unpack_value,
+)
+from repro.rapidwright.database import ComponentDatabase, payload_fingerprint
+from repro.rapidwright.module import (
+    RelocationError,
+    candidate_anchors,
+    relocate,
+    relocate_reference,
+)
+
+SMALL = Device.from_name("small")
+
+CTYPES = ("SLICE", "DSP48E2", "RAMB36", "BUFCE")
+
+#: Columns where a 3-wide all-CLB pblock is legal on the small part
+#: (SLICE cells must sit on CLB columns for relocation to validate).
+_CLB_COL0 = [
+    c for c in range(SMALL.ncols - 2)
+    if all(int(SMALL.col_types[c + i]) == 1 for i in range(3))
+]
+
+
+# -- random checkpoint-shaped designs --------------------------------------
+
+#: Values a checkpoint's metadata can legally hold.  The JSON reference
+#: path deep-copies metadata (it never goes through ``json.dumps``), so
+#: tuples and bytes survive it and the binary codec must preserve them
+#: too.
+_META_LEAVES = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False),
+    st.text(max_size=8),
+    st.binary(max_size=8),
+)
+
+
+def _meta_values(leaves):
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.lists(children, max_size=3),
+            st.tuples(children, children),
+            st.dictionaries(st.text(max_size=6), children, max_size=3),
+        ),
+        max_leaves=8,
+    )
+
+
+_META_VALUES = _meta_values(_META_LEAVES)
+
+#: Adds frozensets: deep-copyable but not vpack-packable, so in-memory
+#: images must fall back to deepcopy for them (``to_bytes`` refuses,
+#: exactly as ``json.dumps`` refused on the reference file path).
+_META_VALUES_UNPACKABLE = _meta_values(
+    _META_LEAVES | st.frozensets(st.integers(0, 5), max_size=3)
+)
+
+
+@st.composite
+def designs(draw, *, placed_in_pblock: bool = False, any_meta: bool = False):
+    """Random designs covering every field the codec serializes.
+
+    With ``placed_in_pblock=True`` every cell is placed inside a pblock
+    whose columns exist on the small part, so relocation is exercisable.
+    With ``any_meta=True`` metadata may hold deep-copyable values the
+    wire format rejects (exercises the in-memory deepcopy fallback).
+    """
+    rng = draw(st.randoms(use_true_random=False))
+    name = draw(st.text(min_size=1, max_size=10))
+    if placed_in_pblock:
+        col0 = rng.choice(_CLB_COL0)
+        row0 = rng.randrange(0, SMALL.nrows - 3)
+        pblock = PBlock(col0, row0, col0 + 2, row0 + 2)
+    else:
+        pblock = draw(
+            st.one_of(st.none(), st.builds(PBlock, st.just(1), st.just(2),
+                                           st.just(6), st.just(7)))
+        )
+    design = Design(name, pblock=pblock)
+    values = _META_VALUES_UNPACKABLE if any_meta else _META_VALUES
+    design.metadata = draw(
+        st.dictionaries(st.text(max_size=6), values, max_size=4)
+    )
+
+    n_cells = rng.randrange(1, 8)
+    for i in range(n_cells):
+        if placed_in_pblock:
+            # Keep the column footprint CLB-only so any CLB column run
+            # on the device is a legal anchor.
+            ctype = "SLICE"
+            placement = (
+                pblock.col0 + rng.randrange(0, 3),
+                pblock.row0 + rng.randrange(0, 3),
+            )
+        else:
+            ctype = rng.choice(CTYPES)
+            placement = (
+                (rng.randrange(0, 20), rng.randrange(0, 20))
+                if rng.random() < 0.7 else None
+            )
+        slice_like = ctype == "SLICE"
+        design.add_cell(Cell(
+            f"c{i}", ctype, placement=placement,
+            locked=rng.random() < 0.5,
+            luts=rng.randrange(0, 9) if slice_like else 0,
+            ffs=rng.randrange(0, 9) if slice_like else 0,
+            comb_depth=rng.randrange(1, 4), seq=rng.random() < 0.3,
+            module=rng.choice((None, "m0", "m1")),
+        ))
+
+    cells = list(design.cells)
+    for k in range(rng.randrange(0, 6)):
+        sinks = [rng.choice(cells) for _ in range(rng.randrange(0, 3))]
+        net = Net(
+            f"n{k}",
+            driver=rng.choice(cells + [None]),
+            sinks=sinks,
+            width=rng.randrange(1, 33),
+            is_clock=rng.random() < 0.2,
+            locked=rng.random() < 0.5,
+        )
+        net.routes = [
+            None if rng.random() < 0.3
+            else [rng.randrange(0, 10**6) for _ in range(rng.randrange(0, 5))]
+            for _ in sinks
+        ]
+        design.add_net(net)
+
+    nets = list(design.nets)
+    for p in range(rng.randrange(0, 4)):
+        if not nets:
+            break
+        design.add_port(Port(
+            f"p{p}", rng.choice(("in", "out")), rng.choice(nets),
+            width=rng.randrange(1, 9),
+            tile=(rng.randrange(0, 20), rng.randrange(0, 20))
+            if rng.random() < 0.5 else None,
+            protocol=rng.choice(("mem", "stream")),
+        ))
+    return design
+
+
+# -- codec ≡ JSON oracle ----------------------------------------------------
+
+
+@given(designs())
+@settings(max_examples=40, deadline=None)
+def test_binary_roundtrip_matches_json_oracle(design):
+    """decode(encode(d)) serializes exactly like the JSON round trip."""
+    oracle = design_from_dict(design_to_dict(design))
+    decoded = decode_design(encode_design(design))
+    assert design_to_dict(decoded) == design_to_dict(oracle)
+
+
+@given(designs(any_meta=True))
+@settings(max_examples=40, deadline=None)
+def test_image_payload_parity_both_directions(design):
+    payload = design_to_dict(design)
+    assert DesignImage.from_design(design).to_payload() == payload
+    assert DesignImage.from_payload(payload).to_payload() == payload
+
+
+@given(designs())
+@settings(max_examples=25, deadline=None)
+def test_encode_is_deterministic(design):
+    assert encode_design(design) == encode_design(design)
+
+
+@given(designs(any_meta=True))
+@settings(max_examples=25, deadline=None)
+def test_clone_matches_roundtrip_and_is_independent(design):
+    reference = design_to_dict(design)
+    clone = clone_design(design)
+    assert design_to_dict(clone) == reference
+    # Mutating the clone must never reach back into the source.
+    for cell in clone.cells.values():
+        cell.placement = (99, 99)
+    for net in clone.nets.values():
+        net.sinks.append("ghost")
+        net.routes.append([123])
+    clone.metadata["poison"] = True
+    assert design_to_dict(design) == reference
+
+
+@given(_META_VALUES)
+@settings(max_examples=60, deadline=None)
+def test_pack_value_roundtrip(value):
+    assert unpack_value(pack_value(value)) == value
+
+
+def test_pack_value_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        pack_value(object())
+
+
+def test_corrupt_blob_rejected():
+    design = Design("x")
+    design.add_cell(Cell("a", "SLICE"))
+    blob = encode_design(design)
+    with pytest.raises(ValueError):
+        decode_design(b"NOPE" + blob[4:])
+    with pytest.raises(ValueError):
+        decode_design(blob[: len(blob) // 2])
+    with pytest.raises(ValueError):
+        decode_design(blob + b"\x00")
+
+
+# -- interned database fetch ≡ relocate_reference oracle -------------------
+
+
+@given(designs(placed_in_pblock=True), st.integers(0, 10**6))
+@settings(max_examples=20, deadline=None)
+def test_fetch_matches_relocate_reference(design, anchor_pick):
+    db = ComponentDatabase(device=SMALL)
+    signature = ("prop", design.name)
+    db.put(signature, design, fmax_mhz=123.0)
+    record = db.records[list(db.records)[0]]
+
+    anchors = candidate_anchors(SMALL, design)
+    assert anchors, "pblock placed on-device must have at least one anchor"
+    anchor = anchors[anchor_pick % len(anchors)]
+
+    fast = db.fetch(signature, anchor, device=SMALL)
+    oracle = relocate_reference(
+        design_from_dict(record.payload), SMALL, anchor
+    )
+    assert design_to_dict(fast) == design_to_dict(oracle)
+
+
+@given(designs(placed_in_pblock=True))
+@settings(max_examples=15, deadline=None)
+def test_fetch_zero_offset_equals_get(design):
+    db = ComponentDatabase(device=SMALL)
+    signature = ("zero", design.name)
+    db.put(signature, design, fmax_mhz=1.0)
+    home = (design.pblock.col0, design.pblock.row0)
+    assert design_to_dict(db.fetch(signature, home, device=SMALL)) == \
+        design_to_dict(db.get(signature))
+
+
+@given(designs(placed_in_pblock=True))
+@settings(max_examples=15, deadline=None)
+def test_fetch_relocation_error_parity(design):
+    db = ComponentDatabase(device=SMALL)
+    signature = ("err", design.name)
+    db.put(signature, design, fmax_mhz=1.0)
+    record = db.records[list(db.records)[0]]
+    bad = (SMALL.ncols + 10, 0)  # off the east edge of the device
+    with pytest.raises(RelocationError) as fast_err:
+        db.fetch(signature, bad, device=SMALL)
+    with pytest.raises(RelocationError) as ref_err:
+        relocate_reference(design_from_dict(record.payload), SMALL, bad)
+    assert str(fast_err.value) == str(ref_err.value)
+
+
+@given(designs(placed_in_pblock=True), st.integers(0, 10**6))
+@settings(max_examples=20, deadline=None)
+def test_relocate_matches_reference(design, anchor_pick):
+    anchors = candidate_anchors(SMALL, design)
+    anchor = anchors[anchor_pick % len(anchors)]
+    fast = relocate(design, SMALL, anchor)
+    oracle = relocate_reference(design, SMALL, anchor)
+    assert design_to_dict(fast) == design_to_dict(oracle)
+
+
+def test_put_result_blob_and_payload_land_identically():
+    design = Design("transport", pblock=PBlock(1, 1, 3, 3))
+    design.add_cell(Cell("a", "SLICE", placement=(1, 1), locked=True))
+    design.connect("n", "a", [])
+    payload = design_to_dict(design)
+
+    via_blob = ComponentDatabase(device=SMALL)
+    via_blob.put_result(("sig",), {"blob": encode_design(design), "fmax_mhz": 5.0})
+    via_payload = ComponentDatabase(device=SMALL)
+    via_payload.put_result(("sig",), {"payload": payload, "fmax_mhz": 5.0})
+
+    [rb] = via_blob.records.values()
+    [rp] = via_payload.records.values()
+    assert rb.payload == rp.payload
+    assert payload_fingerprint(rb.payload) == payload_fingerprint(rp.payload)
+    assert rb.fmax_mhz == rp.fmax_mhz == 5.0
+
+
+# -- cache blob format regressions -----------------------------------------
+
+
+def test_cache_reads_legacy_json_gz_entries(tmp_path):
+    key = "ab" + "0" * 62
+    value = {"legacy": True, "items": [1, 2, 3]}
+    # Entry written by a pre-binary release: flat gzip-JSON.
+    (tmp_path / f"{key}.json.gz").write_bytes(
+        gzip.compress(json.dumps(value).encode())
+    )
+    cache = BuildCache(tmp_path)
+    assert cache.get(key) == value
+    sharded = BuildCache(tmp_path, shard=2)
+    assert sharded.get(key) == value
+
+
+def test_torn_binary_blob_is_a_miss(tmp_path):
+    cache = BuildCache(tmp_path)
+    key = "cd" + "1" * 62
+    cache.put(key, {"big": list(range(500))})
+    path = cache._path(key)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])  # simulate a torn write
+    fresh = BuildCache(tmp_path)
+    assert fresh.get(key, default="fallback") == "fallback"
+
+
+def test_garbage_binary_blob_is_a_miss(tmp_path):
+    cache = BuildCache(tmp_path)
+    key = "ef" + "2" * 62
+    cache._path(key).write_bytes(b"RBC1 but then garbage \xff\x00")
+    assert cache.get(key) is None
+    assert cache.stats.misses == 1
+
+
+def test_cache_binary_value_roundtrip_preserves_types(tmp_path):
+    cache = BuildCache(tmp_path)
+    key = "aa" + "3" * 62
+    value = {"i": 2**80, "f": 0.1, "t": (1, "two"), "b": b"\x00\x01",
+             "n": None, "flag": True, "nested": {"k": [1, 2]}}
+    cache.put(key, value)
+    fresh = BuildCache(tmp_path)
+    assert fresh.get(key) == value

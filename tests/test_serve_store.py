@@ -153,7 +153,7 @@ class TestFarmCache:
         assert store.cache.shard == CACHE_SHARD
         key = "ab" + "0" * 62
         store.cache.put(key, {"v": 1})
-        assert (tmp_path / "cache" / key[:CACHE_SHARD] / f"{key}.json.gz").exists()
+        assert (tmp_path / "cache" / key[:CACHE_SHARD] / f"{key}.bin").exists()
 
     def test_cache_survives_restart(self, tmp_path):
         store = JobStore(tmp_path)
